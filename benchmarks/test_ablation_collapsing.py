@@ -1,0 +1,89 @@
+"""E7 -- ablation: provider-side fault collapsing.
+
+The paper's phase 1 has the provider "exploit basic fault dominance" to
+shrink the exported symbolic fault list.  This ablation measures the
+reduction (none -> equivalence -> dominance) on several generated
+netlists and verifies that collapsing does not change which *collapsed
+classes* a test set detects -- the correctness property that makes the
+optimization safe.
+"""
+
+import random
+
+from repro.bench import format_table
+from repro.core.signal import Logic
+from repro.faults import SerialFaultSimulator, build_fault_list
+from repro.gates import (array_multiplier, ip1_block, parity_tree,
+                         ripple_carry_adder)
+
+NETLISTS = [
+    ("ip1", ip1_block),
+    ("parity8", lambda: parity_tree(8)),
+    ("adder4", lambda: ripple_carry_adder(4)),
+    ("mult4", lambda: array_multiplier(4)),
+]
+
+
+def _collapse_stats():
+    rows = []
+    for label, factory in NETLISTS:
+        netlist = factory()
+        sizes = {}
+        for mode in ("none", "equivalence", "dominance"):
+            sizes[mode] = len(build_fault_list(netlist, collapse=mode))
+        rows.append((label, netlist.gate_count(), sizes["none"],
+                     sizes["equivalence"], sizes["dominance"]))
+    return rows
+
+
+def test_collapsing_reduces_fault_lists(benchmark):
+    rows = benchmark.pedantic(_collapse_stats, rounds=1, iterations=1)
+
+    print()
+    print("Fault-list sizes by collapse mode:")
+    print(format_table(
+        ["Netlist", "Gates", "None", "Equivalence", "Dominance"],
+        rows))
+
+    for label, _gates, none, equivalence, dominance in rows:
+        assert equivalence <= none, label
+        assert dominance <= equivalence, label
+        if label == "parity8":
+            # XOR gates have no controlling value, so a pure XOR tree
+            # offers no structural equivalences -- collapsing is a no-op.
+            assert equivalence == none
+        else:
+            # AND/OR/NAND/NOR-rich logic collapses substantially.
+            assert equivalence <= 0.85 * none, label
+
+
+def test_collapsing_preserves_detection(benchmark):
+    """A test set detects a collapsed class exactly when it detects its
+    uncollapsed members, so coverage over the universe is unchanged."""
+    rng = random.Random(3)
+    netlist = ripple_carry_adder(3)
+    patterns = [{net: Logic(rng.getrandbits(1))
+                 for net in netlist.inputs} for _ in range(20)]
+
+    full = build_fault_list(netlist, collapse="none")
+    collapsed = build_fault_list(netlist, collapse="equivalence")
+
+    def run_both():
+        return (SerialFaultSimulator(netlist, full).run(
+                    patterns, drop_detected=False),
+                SerialFaultSimulator(netlist, collapsed).run(
+                    patterns, drop_detected=False))
+
+    full_report, collapsed_report = benchmark.pedantic(
+        run_both, rounds=1, iterations=1)
+
+    # Map each universe fault to detection via its class representative.
+    detected_by_rep = {}
+    for name in collapsed.names():
+        for member in collapsed.class_of(name):
+            detected_by_rep[member.name] = name in \
+                collapsed_report.detected
+    for name in full.names():
+        member = full.fault(name)
+        assert (name in full_report.detected) == \
+            detected_by_rep[member.name], name

@@ -1,0 +1,62 @@
+"""E6 -- ablation: where the remote-module overhead comes from.
+
+Decomposes the MR scenario's extra CPU into per-call marshalling set-up
+versus payload bytes, and shows that MR's overhead scales with the
+number of events targeting the remote module (the paper's explanation:
+"argument marshalling/unmarshalling at each event handling"), while
+ER's overhead scales only with the number of buffer flushes.
+"""
+
+from repro.bench import format_table, run_scenario
+from repro.net.clock import CostModel
+from repro.net.model import LOCALHOST
+
+
+def _overhead_components(patterns):
+    cost = CostModel()
+    al = run_scenario("AL", LOCALHOST, patterns=patterns)
+    er = run_scenario("ER", LOCALHOST, patterns=patterns)
+    mr = run_scenario("MR", LOCALHOST, patterns=patterns)
+    rows = []
+    for result in (al, er, mr):
+        fixed = result.remote_calls * cost.marshal_call
+        per_byte = result.remote_bytes * cost.marshal_per_byte
+        rows.append((result.scenario, patterns, result.cpu,
+                     result.remote_calls, fixed, per_byte))
+    return al, er, mr, rows
+
+
+def test_marshalling_overhead_decomposition(benchmark):
+    al, er, mr, rows = benchmark.pedantic(
+        _overhead_components, args=(100,), rounds=1, iterations=1)
+
+    print()
+    print("Overhead decomposition (100 patterns, localhost):")
+    print(format_table(
+        ["Scenario", "Patterns", "CPU (s)", "Calls", "Fixed marshal (s)",
+         "Per-byte marshal (s)"],
+        [[s, p, f"{cpu:.1f}", calls, f"{fixed:.1f}", f"{bytes_:.2f}"]
+         for s, p, cpu, calls, fixed, bytes_ in rows]))
+
+    # The remote overhead is dominated by the fixed per-call set-up.
+    _s, _p, _cpu, _calls, er_fixed, er_bytes = rows[1]
+    _s, _p, _cpu, _calls, mr_fixed, mr_bytes = rows[2]
+    assert er_fixed > er_bytes
+    assert mr_fixed > mr_bytes
+    # MR's overhead comes from per-event calls: an order of magnitude
+    # more calls than the buffered ER pipeline.
+    assert mr.remote_calls > 10 * er.remote_calls
+    # And the CPU gap matches the marshalling model.
+    assert mr.cpu - al.cpu > 0.8 * mr_fixed
+
+
+def test_overhead_scales_with_events(benchmark):
+    def runs():
+        small = run_scenario("MR", LOCALHOST, patterns=50)
+        large = run_scenario("MR", LOCALHOST, patterns=100)
+        return small, large
+
+    small, large = benchmark.pedantic(runs, rounds=1, iterations=1)
+    # Twice the patterns, about twice the remote calls and overhead.
+    assert 1.7 < large.remote_calls / small.remote_calls < 2.3
+    assert large.cpu > 1.5 * small.cpu

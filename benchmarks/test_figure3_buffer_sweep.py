@@ -1,0 +1,37 @@
+"""E3 -- Figure 3: real and CPU time vs. pattern-buffer size.
+
+ER scenario over the WAN with the actual accurate-simulator call
+disabled (as in the paper), so the runtime increase comes only from RMI
+overhead.  Expected shape: both curves decrease as the buffer grows,
+with diminishing returns once the buffer exceeds ~50% of the data size
+(communication setup overhead becomes small compared to the time
+required to send the data itself).
+"""
+
+from repro.bench import ascii_plot, format_table, run_buffer_sweep
+
+PERCENTS = [1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+
+
+def test_figure3_buffer_size_sweep(benchmark):
+    series = benchmark.pedantic(run_buffer_sweep, args=(PERCENTS,),
+                                rounds=1, iterations=1)
+    by_pct = {pct: (real, cpu) for pct, real, cpu in series}
+
+    print()
+    print("Figure 3 (ER over WAN, PPP call disabled):")
+    print(format_table(["Buffer %", "Real (s)", "CPU (s)"],
+                       [[pct, f"{real:.1f}", f"{cpu:.1f}"]
+                        for pct, real, cpu in series]))
+    print(ascii_plot([(pct, real) for pct, real, _cpu in series],
+                     label="wall clock time vs buffer %"))
+
+    # Strong gains while the buffer is small...
+    assert by_pct[1][0] > by_pct[5][0] > by_pct[20][0] > by_pct[50][0]
+    assert by_pct[1][1] > by_pct[5][1] > by_pct[20][1] >= by_pct[50][1]
+    # ...and diminishing returns past 50% of the data size.
+    early_gain = by_pct[1][0] - by_pct[50][0]
+    late_gain = abs(by_pct[50][0] - by_pct[100][0])
+    assert late_gain < 0.15 * early_gain
+    # CPU decreases monotonically overall (fewer marshalling set-ups).
+    assert by_pct[100][1] <= by_pct[1][1]

@@ -1,0 +1,70 @@
+"""E4 -- Figures 4 & 5: the half-adder with IP block IP1.
+
+Reproduces the worked example exactly:
+
+* IP1's detection table for (IIP1, IIP2) = (1, 0) associates fault
+  ``I6sa1`` with the erroneous output ``11`` and faults ``I3sa0`` and
+  ``I4sa1`` with ``00`` (our complete table also lists the further
+  equivalently-behaving faults the paper's illustrative table omits);
+* input pattern ABCD = 1100 does NOT detect ``I3sa0`` (D = 0 blocks the
+  propagation to O1);
+* pattern ABCD = 1101 detects ``I3sa0`` -- leading to the *same*
+  detection table, because IP1's input configuration is the same --
+  and also detects ``I4sa1``, which causes the same error.
+"""
+
+from repro.bench import build_figure4, format_table
+from repro.core.signal import Logic
+
+
+def _run_figure4():
+    setup = build_figure4(collapse="none")
+    table = setup.servant.detection_table(
+        [Logic.ONE, Logic.ZERO], setup.fault_list.names())
+    report_1100 = setup.simulator.run(
+        [{"A": 1, "B": 1, "C": 0, "D": 0}])
+    # A fresh simulator so fault dropping does not couple the two runs.
+    fresh = build_figure4(collapse="none")
+    report_1101 = fresh.simulator.run(
+        [{"A": 1, "B": 1, "C": 0, "D": 1}])
+    return table, report_1100, report_1101, fresh
+
+
+def test_figure4_detection_example(benchmark):
+    table, report_1100, report_1101, setup = benchmark.pedantic(
+        _run_figure4, rounds=1, iterations=1)
+
+    def row(bits):
+        return table.faults_causing(tuple(Logic(b) for b in bits))
+
+    print()
+    print("IP1 detection table for (IIP1, IIP2) = (1, 0):")
+    print(format_table(
+        ["Faulty output (OIP1, OIP2)", "Fault list"],
+        [["".join(str(int(b)) for b in pattern), ", ".join(sorted(names))]
+         for pattern, names in sorted(
+             table.rows.items(),
+             key=lambda item: tuple(int(b) for b in item[0]))]))
+
+    # Fault-free response to (1, 0) is 10 -- XOR=1, AND=0.
+    assert table.fault_free == (Logic.ONE, Logic.ZERO)
+    # The paper's two rows, as subsets of our complete rows.
+    assert "I6sa1" in row((1, 1))
+    assert {"I3sa0", "I4sa1"} <= row((0, 0))
+    # I3sa0 produces 00, not the fault-free 10.
+    assert table.output_for_fault("I3sa0") == (Logic.ZERO, Logic.ZERO)
+
+    # Pattern 1100: E=1, IP inputs are 10, but D=0 blocks O1.
+    assert "IP1:I3sa0" not in report_1100.detected
+    assert "IP1:I4sa1" not in report_1100.detected
+    # Pattern 1101 detects I3sa0 and, through the same detection-table
+    # row, also I4sa1.
+    assert "IP1:I3sa0" in report_1101.detected
+    assert "IP1:I4sa1" in report_1101.detected
+    # Same IP input configuration -> the cached table was reused: one
+    # remote fetch despite per-row injection runs.
+    client = setup.simulator.ip_blocks[0]
+    assert client.remote_table_fetches == 1
+    # I6sa1 is observable through O2 regardless of D.
+    assert "IP1:I6sa1" in report_1100.detected
+    assert "IP1:I6sa1" in report_1101.detected

@@ -1,0 +1,92 @@
+"""E10 -- static precharacterization vs dynamic exchange (motivation).
+
+The paper motivates the runtime protocol with a scaling argument:
+shipping complete static detection information means "worst-case
+extraction time and representation size grow exponentially with the
+number of inputs and linearly with the number of faults", while "users
+exploit only a small subset of such information during a typical
+fault-simulation experiment".
+
+This bench quantifies that: for IP blocks of growing input count, it
+measures the wire bytes of a *full* static characterization (one
+detection table per possible input configuration) against the bytes a
+real fault-simulation session actually exchanged (tables fetched for
+configurations encountered, restricted to still-undetected faults).
+"""
+
+import random
+
+from repro.bench import build_embedded, format_table
+from repro.core.signal import Logic
+from repro.faults import build_fault_list
+from repro.gates import parity_tree, random_netlist, ripple_carry_adder
+from repro.rmi import payload_size
+
+BLOCKS = [
+    ("parity3", lambda: parity_tree(3)),
+    ("parity5", lambda: parity_tree(5)),
+    ("adder3", lambda: ripple_carry_adder(3)),     # 6 inputs
+    ("rand8", lambda: random_netlist(8, 24, 3, seed=13)),
+]
+
+
+def _static_bytes(servant, n_inputs, names):
+    total = 0
+    for word in range(2 ** n_inputs):
+        bits = [Logic((word >> i) & 1) for i in range(n_inputs)]
+        table = servant.detection_table(bits, names)
+        total += payload_size(table)
+    return total
+
+
+def _measure_all(patterns_per_block=20):
+    rows = []
+    for label, factory in BLOCKS:
+        experiment = build_embedded(factory(), block_name=label)
+        client = experiment.virtual.ip_blocks[0]
+        servant = client.stub
+        names = tuple(servant.fault_list())
+        n_inputs = len(servant.netlist.inputs)
+        static_bytes = _static_bytes(servant, n_inputs, names)
+
+        patterns = experiment.random_patterns(patterns_per_block,
+                                              seed=hash(label) % 97)
+        experiment.virtual.run(patterns)
+        dynamic_bytes = sum(
+            payload_size(table)
+            for table in client._table_cache.values())
+        rows.append((label, n_inputs, len(names), 2 ** n_inputs,
+                     client.remote_table_fetches, static_bytes,
+                     dynamic_bytes))
+    return rows
+
+
+def test_dynamic_exchange_beats_static_precharacterization(benchmark):
+    rows = benchmark.pedantic(_measure_all, rounds=1, iterations=1)
+
+    print()
+    print("Static precharacterization vs dynamic exchange "
+          "(20-pattern session):")
+    print(format_table(
+        ["Block", "Inputs", "Faults", "Static tables", "Fetched",
+         "Static bytes", "Dynamic bytes", "Ratio"],
+        [[label, inputs, faults, static_tables, fetched,
+          static_bytes, dynamic_bytes,
+          f"{static_bytes / max(dynamic_bytes, 1):.1f}x"]
+         for label, inputs, faults, static_tables, fetched,
+         static_bytes, dynamic_bytes in rows]))
+
+    by_label = {row[0]: row for row in rows}
+    for label, inputs, _faults, static_tables, fetched, static_bytes, \
+            dynamic_bytes in rows:
+        # A session touches at most the configurations it encountered.
+        assert fetched <= min(static_tables, 20), label
+        assert dynamic_bytes <= static_bytes, label
+    # The gap widens with input count (the exponential term): the
+    # 8-input block's ratio dwarfs the 3-input one's.
+    def ratio(label):
+        row = by_label[label]
+        return row[5] / max(row[6], 1)
+
+    assert ratio("rand8") > 4 * ratio("parity3")
+    assert ratio("rand8") > 8  # the headline: >8x saved at 8 inputs

@@ -1,0 +1,54 @@
+"""E1 -- Table 1: three power estimators for the multiplier MULT.
+
+Regenerates the paper's comparison of the constant (data-sheet), the
+linear-regression macro-model and the remote gate-level toggle-count
+estimator: average error, RMS error, monetary cost per pattern and CPU
+time per pattern.
+
+Expected shape (paper values: 25/90/0/0, 20/50/0/1, 10/20/0.1/100*):
+accuracy strictly improves down the table, monetary cost and CPU time
+strictly grow, and only the gate-level estimator is remote (flagged for
+unpredictable network time).
+"""
+
+from repro.bench import ESTIMATOR_NAMES, format_table, run_table1
+
+PAPER_ROWS = {
+    "constant-power": (25.0, 90.0, 0.0, 0.0),
+    "linreg-power": (20.0, 50.0, 0.0, 1.0),
+    "gate-level-toggle": (10.0, 20.0, 0.1, 100.0),
+}
+
+
+def test_table1_estimator_comparison(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    by_name = {row.estimator: row for row in rows}
+    constant = by_name["constant-power"]
+    regression = by_name["linreg-power"]
+    gate = by_name["gate-level-toggle"]
+
+    print()
+    print("Table 1 (measured | paper):")
+    print(format_table(
+        ["Estimator", "Avg err %", "RMS err %", "cents/pattern",
+         "CPU s/pattern", "paper (avg/rms/cost/cpu)"],
+        [list(row.cells()) + ["/".join(str(v) for v in
+                                       PAPER_ROWS[row.estimator])]
+         for row in rows]))
+
+    # Accuracy ordering: constant < regression < gate-level.
+    assert constant.avg_error_pct > regression.avg_error_pct \
+        > gate.avg_error_pct
+    assert constant.rms_error_pct > regression.rms_error_pct \
+        > gate.rms_error_pct
+    # The gate-level estimator lands in the paper's ~10% band.
+    assert 2.0 < gate.avg_error_pct < 20.0
+    # Cost ordering: only the remote gate-level estimator bills fees.
+    assert constant.cost_cents_per_pattern == 0.0
+    assert regression.cost_cents_per_pattern == 0.0
+    assert abs(gate.cost_cents_per_pattern - 0.1) < 1e-9
+    # CPU ordering and the paper's unpredictable-time flag.
+    assert gate.cpu_s_per_pattern > regression.cpu_s_per_pattern
+    assert gate.unpredictable_time
+    assert not constant.unpredictable_time
+    assert len(rows) == len(ESTIMATOR_NAMES)

@@ -1,0 +1,65 @@
+"""E2 -- Table 2: CPU and real time for AL / ER / MR across networks.
+
+100 random patterns through the Figure 2 circuit with a buffer of five
+patterns, in seven configurations.  Paper values (CPU s / real s):
+
+    AL                 13 / 15
+    ER  localhost      14 / 21      MR  localhost      38 / 87
+    ER  LAN            14 / 32      MR  LAN            38 / 65
+    ER  WAN            14 / 168     MR  WAN            38 / 407
+
+The asserted shape: ER's CPU impact is almost negligible while MR adds
+a relevant overhead (argument marshalling at each event handling); real
+time for ER grows with network distance; for MR the *local-host* real
+time exceeds the LAN one, because the single shared machine is more
+heavily loaded when both client and server run on it.
+"""
+
+from repro.bench import format_table, run_table2
+
+PAPER = {
+    ("AL", "NA"): (13, 15),
+    ("ER", "localhost"): (14, 21),
+    ("MR", "localhost"): (38, 87),
+    ("ER", "lan"): (14, 32),
+    ("MR", "lan"): (38, 65),
+    ("ER", "wan"): (14, 168),
+    ("MR", "wan"): (38, 407),
+}
+
+
+def test_table2_seven_rows(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    by_key = {(row.scenario, row.host): row for row in rows}
+
+    print()
+    print("Table 2 (measured vs paper):")
+    print(format_table(
+        ["Design", "Host", "CPU (s)", "Real (s)", "paper CPU", "paper real"],
+        [[row.scenario, row.host, f"{row.cpu:.1f}", f"{row.real:.1f}",
+          PAPER[(row.scenario, row.host)][0],
+          PAPER[(row.scenario, row.host)][1]] for row in rows]))
+
+    al = by_key[("AL", "NA")]
+    er = {net: by_key[("ER", net)] for net in ("localhost", "lan", "wan")}
+    mr = {net: by_key[("MR", net)] for net in ("localhost", "lan", "wan")}
+
+    # CPU: one remote method has almost negligible impact...
+    for row in er.values():
+        assert row.cpu <= al.cpu * 1.25
+    # ...whereas an entirely remote module adds a relevant overhead.
+    for row in mr.values():
+        assert row.cpu >= al.cpu * 2.0
+    # CPU time does not depend on the network environment.
+    assert len({round(row.cpu, 3) for row in er.values()}) == 1
+    assert len({round(row.cpu, 3) for row in mr.values()}) == 1
+    # ER real time grows with network distance.
+    assert er["localhost"].real < er["lan"].real < er["wan"].real
+    # MR local-host real time exceeds LAN (shared, loaded host)...
+    assert mr["lan"].real < mr["localhost"].real
+    # ...and the WAN dominates everything.
+    assert mr["wan"].real > mr["localhost"].real
+    assert mr["wan"].real == max(row.real for row in rows)
+    # Real time never undercuts CPU time.
+    for row in rows:
+        assert row.real >= row.cpu - 1e-9

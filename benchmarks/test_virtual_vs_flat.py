@@ -1,0 +1,75 @@
+"""E5 -- correctness claim: virtual fault simulation == flat baseline.
+
+The paper's protocol must detect exactly the faults a classical
+full-knowledge serial fault simulator detects, pattern by pattern, while
+never moving the netlist across the client/provider boundary.  This
+bench runs both flows over the Figure 4 design and a family of embedded
+IP blocks (parity tree, comparator, adder, random logic) and checks
+that the reports agree exactly.
+"""
+
+import pytest
+
+from repro.bench import build_embedded, format_table
+from repro.faults import reports_agree
+from repro.gates import (equality_comparator, parity_tree, random_netlist,
+                         ripple_carry_adder)
+
+BLOCKS = [
+    ("parity4", lambda: parity_tree(4)),
+    ("cmp3", lambda: equality_comparator(3)),
+    ("adder3", lambda: ripple_carry_adder(3)),
+    ("rand1", lambda: random_netlist(5, 24, 3, seed=31)),
+    ("rand2", lambda: random_netlist(6, 30, 4, seed=77)),
+]
+
+
+def _run_all(patterns_per_block=24):
+    outcomes = []
+    for label, factory in BLOCKS:
+        experiment = build_embedded(factory(), block_name=label)
+        patterns = experiment.random_patterns(patterns_per_block,
+                                              seed=hash(label) % 1000)
+        virtual_report = experiment.virtual.run(patterns)
+        serial_report = experiment.serial.run(
+            experiment.patterns_as_logic(patterns))
+        outcomes.append((label, experiment, virtual_report, serial_report))
+    return outcomes
+
+
+def test_virtual_equals_flat(benchmark):
+    outcomes = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    print()
+    print("Virtual protocol vs flat serial baseline:")
+    print(format_table(
+        ["Block", "Faults", "Virtual detected", "Serial detected",
+         "Coverage", "Agree"],
+        [[label, virtual.total_faults, virtual.detected_count,
+          serial.detected_count, f"{virtual.coverage:.1%}",
+          reports_agree(virtual, serial,
+                        rename=lambda q: q.split(':', 1)[1])]
+         for label, _exp, virtual, serial in outcomes]))
+
+    for label, _experiment, virtual, serial in outcomes:
+        assert virtual.total_faults == serial.total_faults, label
+        # Identical faults detected, at identical first-detecting
+        # patterns (fault dropping runs in both flows).
+        assert reports_agree(virtual, serial,
+                             rename=lambda q: q.split(":", 1)[1]), label
+        # The experiment is non-trivial: something was detected.
+        assert virtual.detected_count > 0, label
+
+
+def test_virtual_never_ships_structure(benchmark):
+    """The marshaller refuses the netlist even if a servant tried."""
+    from repro.core.errors import MarshalError
+    from repro.gates import parity_tree
+    from repro.rmi import marshal
+
+    def attempt():
+        with pytest.raises(MarshalError):
+            marshal(parity_tree(4))
+        return True
+
+    assert benchmark.pedantic(attempt, rounds=1, iterations=1)

@@ -1,0 +1,119 @@
+"""Concurrent simulations and mixed-level design.
+
+Two features the paper highlights about the JavaCAD backplane:
+
+* **Concurrent schedulers** -- multiple simulations of the *same*
+  design instance run on separate threads with different setups, and
+  cannot interfere: every connector value and module state is stored in
+  per-scheduler lookup tables.
+* **Mixed abstraction levels** -- some components at the RT level, some
+  at the gate level, connected through word/bit connectors in one
+  design (here an RTL multiplier feeding a gate-level ripple adder).
+
+Run with:  python examples/concurrent_simulations.py
+"""
+
+from repro.core import (Circuit, PrimaryOutput, RandomPrimaryInput,
+                        SimulationController, WordConnector)
+from repro.estimation import AVERAGE_POWER, ByName, SetupController
+from repro.gates import GateLevelModule, ripple_carry_adder
+from repro.ip import IPProvider, MultFastLowPower, ProviderConnection
+from repro.net import LOCALHOST, VirtualClock
+from repro.rtl import WordMultiplier
+
+
+def build_mixed_design(width: int, patterns: int):
+    """RTL multiplier (behavioural) -> gate-level adder (structural)."""
+    a = WordConnector(width)
+    b = WordConnector(width)
+    product = WordConnector(2 * width)
+    offset = WordConnector(2 * width)
+    total = WordConnector(2 * width + 1)
+
+    ina = RandomPrimaryInput(width, a, patterns=patterns, seed=5,
+                             name="INA")
+    inb = RandomPrimaryInput(width, b, patterns=patterns, seed=6,
+                             name="INB")
+    inc = RandomPrimaryInput(2 * width, offset, patterns=patterns,
+                             seed=7, name="INC")
+    mult = WordMultiplier(width, a, b, product, name="MULT")
+
+    # The adder is a genuine gate-level netlist wrapped as a module:
+    # word connectors outside, event-driven gate evaluation inside.
+    adder_netlist = ripple_carry_adder(2 * width, name="adder")
+    adder = GateLevelModule(
+        adder_netlist,
+        input_map={"a": [f"a{i}" for i in range(2 * width)],
+                   "b": [f"b{i}" for i in range(2 * width)]},
+        output_map={"s": [f"s{i}" for i in range(2 * width + 1)]},
+        connectors={"a": product, "b": offset, "s": total},
+        name="GLADD")
+    out = PrimaryOutput(2 * width + 1, total, name="OUT")
+    return Circuit(ina, inb, inc, mult, adder, out, name="mixed"), out
+
+
+def main() -> None:
+    width = 8
+    patterns = 40
+    circuit, out = build_mixed_design(width, patterns)
+
+    # One multiplier IP for the estimation half of the demo.
+    vendor = IPProvider("concurrent.provider")
+    vendor.publish_multiplier(width)
+    provider = ProviderConnection(vendor, LOCALHOST,
+                                  clock=VirtualClock())
+
+    # Mixed-level run: RTL words flow into gate-level addition.
+    controller = SimulationController(circuit, name="mixed")
+    stats = controller.start()
+    sums = [v.value for _t, v in out.trace(controller.context) if v.known]
+    print(f"mixed-level run: {stats.events} events, "
+          f"last sums {sums[-3:]}")
+
+    # --- concurrent simulations over ONE design instance -----------------
+    ip_circuit, mult = _ip_design(width, patterns, provider)
+
+    setup_fast = SetupController(name="datasheet")
+    setup_fast.set(AVERAGE_POWER, ByName("constant-power"))
+    setup_fast.apply(ip_circuit)
+
+    setup_accurate = SetupController(name="macro-model")
+    setup_accurate.set(AVERAGE_POWER, ByName("linreg-power"))
+    setup_accurate.apply(ip_circuit)
+
+    run_a = SimulationController(ip_circuit, setup=setup_fast,
+                                 name="thread-A")
+    run_b = SimulationController(ip_circuit, setup=setup_accurate,
+                                 name="thread-B")
+    thread_a = run_a.start_async()
+    thread_b = run_b.start_async()
+    thread_a.join()
+    thread_b.join()
+
+    series_a = setup_fast.results.series("MULT", AVERAGE_POWER.name)
+    series_b = setup_accurate.results.series("MULT", AVERAGE_POWER.name)
+    print(f"\nconcurrent runs on one design: "
+          f"{len(series_a)} + {len(series_b)} power samples")
+    print(f"  thread-A (constant): every sample identical -> "
+          f"{len(set(series_a)) == 1}")
+    print(f"  thread-B (regression): activity-dependent -> "
+          f"{len(set(round(v, 6) for v in series_b)) > 1}")
+    print("  schedulers never interfered: both traces are complete and "
+          "the design needed no reset between runs")
+
+
+def _ip_design(width, patterns, provider):
+    a = WordConnector(width)
+    b = WordConnector(width)
+    o = WordConnector(2 * width)
+    ina = RandomPrimaryInput(width, a, patterns=patterns, seed=8,
+                             name="INA")
+    inb = RandomPrimaryInput(width, b, patterns=patterns, seed=9,
+                             name="INB")
+    mult = MultFastLowPower(width, a, b, o, provider, name="MULT")
+    out = PrimaryOutput(2 * width, o, name="OUT")
+    return Circuit(ina, inb, mult, out, name="ip-design"), mult
+
+
+if __name__ == "__main__":
+    main()

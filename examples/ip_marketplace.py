@@ -1,0 +1,165 @@
+"""An IP marketplace session: catalogs, negotiation, fees, protection.
+
+Mirrors the paper's Figure 1 setting: one IP user, two independent IP
+providers, each with its own JavaCAD server and its own model-release
+policy.  The user browses catalogs, negotiates estimator choices under
+a fee budget, runs a mixed design with components from both vendors,
+and the IP-protection machinery is exercised along the way:
+
+* the restricted marshaller refuses to ship a netlist;
+* non-trusted downloaded code cannot touch the file system and can only
+  connect back to its own provider;
+* the provider's implementation carries a watermark the vendor can
+  prove in court, which survives and stays functionally invisible.
+
+Run with:  python examples/ip_marketplace.py
+"""
+
+from repro.core import (Circuit, Fanout, PrimaryOutput,
+                        RandomPrimaryInput, SimulationController,
+                        WordConnector)
+from repro.core.errors import (BillingError, MarshalError,
+                               SecurityViolationError)
+from repro.estimation import AVERAGE_POWER, ByName, SetupController
+from repro.gates import NetlistSimulator, array_multiplier
+from repro.ip import (BillingAccount, IPProvider, MultFastLowPower,
+                      Negotiation, ProviderConnection, embed_watermark,
+                      verify_watermark)
+from repro.net import LAN, WAN, VirtualClock
+from repro.rmi import marshal
+from repro.rtl import WordAdder
+
+
+def main() -> None:
+    width = 8
+
+    # Two competing vendors publish multipliers with different fees.
+    fastcorp = IPProvider("fast.multipliers.example")
+    fastcorp.publish_multiplier(width)
+    cheapinc = IPProvider("cheap.cores.example")
+    cheapinc.publish_multiplier(width, name="BudgetMult")
+
+    clock = VirtualClock()
+    fast = ProviderConnection(fastcorp, LAN, clock=clock)
+    cheap = ProviderConnection(cheapinc, WAN, clock=clock)
+    print("fastcorp catalog :", fast.list_components())
+    print("cheapinc catalog :", cheap.list_components())
+
+    # --- negotiation: what does accurate power estimation cost?
+    negotiation = Negotiation(fast, "MultFastLowPower")
+    print("\nestimator offers from fastcorp:")
+    for offer in negotiation.offers():
+        flag = "*" if offer.unpredictable_time else ""
+        print(f"  {offer.type:20s} err {offer.avg_error_pct:5.1f}%  "
+              f"{offer.cost_cents_per_pattern:4.2f} c/pattern  "
+              f"remote={offer.remote}{flag}")
+    best_free = negotiation.select(max_cost=0.0)
+    best_any = negotiation.select()
+    print(f"best free estimator: {best_free.type} "
+          f"({best_free.avg_error_pct}% error)")
+    print(f"best overall       : {best_any.type}, projected fee for 60 "
+          f"patterns: "
+          f"{negotiation.estimated_session_fee(best_any, 60):.1f} cents")
+
+    # --- a design mixing both vendors' IP with a local adder.
+    a = WordConnector(width)
+    b = WordConnector(width)
+    # Connectors are point-to-point: both multipliers read the operands
+    # through explicit fanout modules (which could model per-branch net
+    # delays if this were a timing study).
+    a1, a2 = WordConnector(width), WordConnector(width)
+    b1, b2 = WordConnector(width), WordConnector(width)
+    fan_a = Fanout(width, a, [a1, a2], name="FANA")
+    fan_b = Fanout(width, b, [b1, b2], name="FANB")
+    p1 = WordConnector(2 * width)
+    p2 = WordConnector(2 * width)
+    total = WordConnector(2 * width)
+    ina = RandomPrimaryInput(width, a, patterns=60, seed=3, name="INA")
+    inb = RandomPrimaryInput(width, b, patterns=60, seed=4, name="INB")
+    mult_fast = MultFastLowPower(width, a1, b1, p1, fast, name="MULT1")
+    mult_cheap = MultFastLowPower(width, a2, b2, p2, cheap,
+                                  component="BudgetMult", name="MULT2")
+    adder = WordAdder(2 * width, p1, p2, total, name="SUM")
+    out = PrimaryOutput(2 * width, total, name="OUT")
+    circuit = Circuit(ina, inb, fan_a, fan_b, mult_fast, mult_cheap,
+                      adder, out, name="marketplace")
+
+    # --- fee-capped evaluation: the budget stops runaway spending.
+    tight_budget = BillingAccount(budget=5.0)
+    setup = SetupController(name="capped", billing=tight_budget)
+    setup.set(AVERAGE_POWER, ByName("gate-level-toggle"))
+    setup.apply(circuit)
+    controller = SimulationController(circuit, setup=setup, clock=clock)
+    try:
+        controller.start()
+        print("\nbudget was sufficient")
+    except BillingError as exc:
+        print(f"\nbudget cap enforced mid-run: {exc}")
+    finally:
+        controller.teardown()
+
+    # A realistic budget completes, with an itemized ledger.
+    billing = BillingAccount(budget=100.0)
+    setup2 = SetupController(name="funded", billing=billing)
+    setup2.set(AVERAGE_POWER, ByName("gate-level-toggle"))
+    setup2.apply(circuit)
+    controller2 = SimulationController(circuit, setup=setup2, clock=clock)
+    stats = controller2.start()
+    print(f"funded run: {stats.instants} patterns, fees "
+          f"{billing.total:.1f} cents, by estimator "
+          f"{billing.by_estimator()}")
+    controller2.teardown()
+
+    # --- IP protection demonstrations -------------------------------------
+    print("\nIP protection:")
+    try:
+        marshal(array_multiplier(4))
+    except MarshalError as exc:
+        print(f"  marshaller refused a netlist: {str(exc)[:70]}...")
+
+    policy = fast.policy
+    try:
+        policy.check_file_access("/etc/passwd")
+    except SecurityViolationError as exc:
+        print(f"  downloaded code denied file access: {str(exc)[:60]}...")
+    try:
+        policy.check_connect("cheap.cores.example")
+    except SecurityViolationError:
+        print("  fastcorp's code may not phone cheapinc: connect denied")
+
+    # --- evaluation -> purchase: license + fingerprinted delivery.
+    from repro.gates import write_bench
+    from repro.ip import LicenseServant, purchase_component
+    from repro.rmi import RemoteStub
+
+    desk = LicenseServant(array_multiplier(4, name="Mult4"),
+                          price_cents=900.0,
+                          provider_secret="fastcorp-master")
+    fastcorp.server.bind("mult4.sales", desk,
+                         LicenseServant.REMOTE_METHODS)
+    sales = RemoteStub(fast.transport, "mult4.sales",
+                       LicenseServant.REMOTE_METHODS)
+    license_, bought = purchase_component(sales, "acme-corp", 2000.0)
+    print(f"\npurchase: acme-corp licensed {license_.component} "
+          f"(license verifies: {sales.verify(license_.as_wire())})")
+    leaker = desk.identify_leak(write_bench(bought))
+    print(f"  delivered netlist is buyer-fingerprinted; a leaked copy "
+          f"traces to: {leaker}")
+
+    # --- watermarking: vendor-provable, functionally invisible.
+    secret = array_multiplier(4, name="wm-demo")
+    marked = embed_watermark(secret, key="fastcorp-k-2099")
+    same = all(
+        NetlistSimulator(secret).evaluate_int(word)[o]
+        == NetlistSimulator(marked).evaluate_int(word)[o]
+        for word in (0, 7, 42, 255) for o in secret.outputs)
+    print(f"  watermark embedded: +{marked.gate_count() - secret.gate_count()}"
+          f" gates, functionally identical: {same}")
+    print(f"  verifies with the right key : "
+          f"{verify_watermark(marked, 'fastcorp-k-2099')}")
+    print(f"  verifies with a wrong key   : "
+          f"{verify_watermark(marked, 'forged-key')}")
+
+
+if __name__ == "__main__":
+    main()

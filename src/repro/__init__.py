@@ -1,0 +1,30 @@
+"""repro: a Python reproduction of JavaCAD.
+
+JavaCAD (Dalpasso, Benini, Bogliolo -- DAC 1999 / IEEE D&T 2002) is an
+Internet-based design environment for IP-based designs: functional
+simulation, fault simulation and cost estimation of circuits containing
+IP components, with IP protection for both vendors and users.
+
+Package map:
+
+* :mod:`repro.core` -- the event-driven simulation backplane (modules,
+  connectors, tokens, schedulers, controllers).
+* :mod:`repro.gates` / :mod:`repro.rtl` -- gate- and RT-level model
+  libraries, netlists and generators.
+* :mod:`repro.rmi` -- the RMI-like distributed-object substrate with
+  restricted (IP-protecting) marshalling.
+* :mod:`repro.net` -- virtual time and deterministic network models.
+* :mod:`repro.estimation` -- parameters, estimators, setup controllers.
+* :mod:`repro.power` -- the Table 1 power estimators.
+* :mod:`repro.faults` -- detection tables and virtual fault simulation.
+* :mod:`repro.ip` -- IP component packaging, providers, billing.
+* :mod:`repro.bench` -- harnesses regenerating the paper's tables/figures.
+"""
+
+from . import (behav, bench, core, estimation, faults, gates, ip, net,
+               power, rmi, rtl)
+
+__version__ = "1.0.0"
+
+__all__ = ["behav", "bench", "core", "estimation", "faults", "gates",
+           "ip", "net", "power", "rmi", "rtl", "__version__"]

@@ -1,0 +1,7 @@
+"""Behavioural abstraction level: frame streams and DSP modules."""
+
+from .dsp import Decimator, FIRFilter, SampleMap, StreamProbe, StreamSource
+from .stream import Frame, StreamConnector
+
+__all__ = ["Decimator", "FIRFilter", "SampleMap", "StreamProbe",
+           "StreamSource", "Frame", "StreamConnector"]

@@ -1,0 +1,219 @@
+"""The paper's performance case study: Figure 2 circuit in three scenarios.
+
+* **AL** (all local): every design component is local -- the classical
+  design flow with no IP protection, used as the comparison baseline.
+* **ER** (estimator remote): only one method of the multiplier (the
+  accurate gate-level power estimator) is remotely accessed, with
+  pattern buffering and non-blocking calls.
+* **MR** (multiplier remote): the entire multiplier is remote -- every
+  event targeting the module crosses the RMI channel (not realistic,
+  but useful for comparison, as the paper notes).
+
+Each scenario runs 100 random patterns through the register/multiplier
+circuit of Figure 2 and reports virtual CPU and real (wall) time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from ..core.connector import WordConnector
+from ..core.controller import SimulationController
+from ..core.design import Circuit, Design
+from ..core.errors import DesignError
+from ..core.library import PrimaryOutput, RandomPrimaryInput, Register
+from ..estimation.criteria import ByName
+from ..estimation.parameter import AVERAGE_POWER
+from ..estimation.setup import SetupController
+from ..ip.component import MultFastLowPower, ProviderConnection
+from ..ip.provider import IPProvider
+from ..net.clock import CostModel, VirtualClock
+from ..net.model import LAN, LOCALHOST, WAN, NetworkModel, PRESETS
+from ..power.regression import LinearRegressionPowerEstimator
+from ..rtl.combinational import WordMultiplier
+
+SCENARIOS = ("AL", "ER", "MR")
+"""The three paper scenarios."""
+
+DEFAULT_WIDTH = 16
+DEFAULT_PATTERNS = 100
+DEFAULT_BUFFER = 5
+
+
+@dataclass
+class ScenarioResult:
+    """One Table 2 row: a scenario in one network environment."""
+
+    scenario: str
+    host: str
+    cpu: float
+    real: float
+    events: int
+    remote_calls: int
+    remote_bytes: int
+    powers: Optional[List[float]] = None
+
+    def row(self) -> Tuple[str, str, float, float]:
+        """(design, host, CPU s, real s) -- the paper's column layout."""
+        return (self.scenario, self.host, round(self.cpu),
+                round(self.real))
+
+
+@lru_cache(maxsize=8)
+def shared_provider(width: int = DEFAULT_WIDTH,
+                    power_enabled: bool = True) -> IPProvider:
+    """A memoized provider publishing the Figure 2 multiplier IP.
+
+    Publishing characterizes power models over the secret netlist, which
+    is expensive; benchmarks reuse one provider per configuration.
+    """
+    provider = IPProvider("provider.host.name")
+    provider.publish_multiplier(width, power_enabled=power_enabled)
+    return provider
+
+
+class Figure2Design(Design):
+    """The paper's Figure 2: two registered random inputs feeding MULT.
+
+    ``mode`` selects AL / ER / MR; for the remote modes a
+    :class:`ProviderConnection` must be supplied.
+    """
+
+    def __init__(self, mode: str = "AL",
+                 provider: Optional[ProviderConnection] = None,
+                 width: int = DEFAULT_WIDTH,
+                 patterns: int = DEFAULT_PATTERNS,
+                 buffer_size: int = DEFAULT_BUFFER, seed: int = 0,
+                 nonblocking: bool = False):
+        super().__init__(name=f"figure2-{mode}")
+        if mode not in SCENARIOS:
+            raise DesignError(f"unknown scenario {mode!r}")
+        if mode != "AL" and provider is None:
+            raise DesignError(f"scenario {mode} needs a provider connection")
+        self.mode = mode
+        self.provider = provider
+        self.width = width
+        self.patterns = patterns
+        self.buffer_size = buffer_size
+        self.seed = seed
+        self.nonblocking = nonblocking
+        self.mult = None
+        self.out = None
+
+    def design(self) -> Circuit:
+        width = self.width
+        a = WordConnector(width, name="A")
+        ar = WordConnector(width, name="AR")
+        b = WordConnector(width, name="B")
+        br = WordConnector(width, name="BR")
+        o = WordConnector(2 * width, name="O")
+        ina = RandomPrimaryInput(width, a, patterns=self.patterns,
+                                 seed=self.seed, name="INA")
+        rega = Register(width, a, ar, name="REGA")
+        inb = RandomPrimaryInput(width, b, patterns=self.patterns,
+                                 seed=self.seed + 1, name="INB")
+        regb = Register(width, b, br, name="REGB")
+        if self.mode == "AL":
+            mult = WordMultiplier(width, ar, br, o, name="MULT")
+            # With no IP protection the user owns the implementation and
+            # characterizes a local macro-model; coefficients here stand
+            # in for that in-house characterization.
+            mult.add_estimator(LinearRegressionPowerEstimator(
+                0.05, 0.003, ports=("a", "b"), name="local-power"))
+        else:
+            mult = MultFastLowPower(
+                width, ar, br, o, self.provider,
+                remote_functional=(self.mode == "MR"),
+                buffer_size=self.buffer_size,
+                nonblocking=self.nonblocking, name="MULT")
+        out = PrimaryOutput(2 * width, o, name="OUT")
+        self.mult = mult
+        self.out = out
+        return Circuit(ina, rega, inb, regb, mult, out,
+                       name=f"figure2-{self.mode}")
+
+
+def run_scenario(mode: str, network: NetworkModel = LOCALHOST,
+                 width: int = DEFAULT_WIDTH,
+                 patterns: int = DEFAULT_PATTERNS,
+                 buffer_size: int = DEFAULT_BUFFER,
+                 power_enabled: bool = True,
+                 cost_model: Optional[CostModel] = None,
+                 collect_powers: bool = False,
+                 nonblocking: bool = False) -> ScenarioResult:
+    """Run one Table 2 cell and return its measured row."""
+    cost = cost_model or CostModel()
+    clock = VirtualClock()
+    connection: Optional[ProviderConnection] = None
+    if mode != "AL":
+        provider = shared_provider(width, power_enabled)
+        connection = ProviderConnection(provider, network, clock=clock,
+                                        cost_model=cost)
+    design = Figure2Design(mode, connection, width=width,
+                           patterns=patterns, buffer_size=buffer_size,
+                           nonblocking=nonblocking)
+    circuit = design.build()
+
+    setup = SetupController(name=f"{mode}-setup")
+    estimator_name = ("local-power" if mode == "AL"
+                      else "gate-level-toggle")
+    setup.set(AVERAGE_POWER, ByName(estimator_name))
+    setup.apply(circuit)
+
+    controller = SimulationController(circuit, setup=setup, clock=clock,
+                                      cost_model=cost, name=mode)
+    stats = controller.start()
+
+    powers: Optional[List[float]] = None
+    if mode != "AL":
+        collected = design.mult.collect_power(controller.context)
+        if collect_powers:
+            powers = collected
+    clock.sync()
+
+    calls = connection.transport.stats.calls if connection else 0
+    wire = (connection.transport.stats.bytes_sent
+            + connection.transport.stats.bytes_received) if connection \
+        else 0
+    result = ScenarioResult(
+        scenario=mode, host=network.name if mode != "AL" else "NA",
+        cpu=clock.cpu, real=clock.wall, events=stats.events,
+        remote_calls=calls, remote_bytes=wire, powers=powers)
+    controller.teardown()
+    return result
+
+
+def run_table2(width: int = DEFAULT_WIDTH, patterns: int = DEFAULT_PATTERNS,
+               buffer_size: int = DEFAULT_BUFFER) -> List[ScenarioResult]:
+    """All seven rows of the paper's Table 2, in paper order."""
+    rows = [run_scenario("AL", LOCALHOST, width, patterns, buffer_size)]
+    for network in (LOCALHOST, LAN, WAN):
+        rows.append(run_scenario("ER", network, width, patterns,
+                                 buffer_size))
+        rows.append(run_scenario("MR", network, width, patterns,
+                                 buffer_size))
+    # Paper order: AL, ER/MR local, ER/MR LAN, ER/MR WAN.
+    return rows
+
+
+def run_buffer_sweep(buffer_percents: Optional[List[int]] = None,
+                     width: int = DEFAULT_WIDTH,
+                     patterns: int = DEFAULT_PATTERNS
+                     ) -> List[Tuple[int, float, float]]:
+    """Figure 3: (buffer % of data size, real s, CPU s) series.
+
+    ER scenario over the WAN with the actual PPP call disabled, exactly
+    as in the paper: the runtime variation is pure RMI overhead.
+    """
+    if buffer_percents is None:
+        buffer_percents = [1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90,
+                           100]
+    series: List[Tuple[int, float, float]] = []
+    for percent in buffer_percents:
+        buffer_size = max(1, round(patterns * percent / 100))
+        result = run_scenario("ER", WAN, width, patterns, buffer_size,
+                              power_enabled=False)
+        series.append((percent, result.real, result.cpu))
+    return series

@@ -1,0 +1,38 @@
+"""Virtual-time measurement helpers for benchmarks and tests."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..net.clock import VirtualClock
+
+
+@dataclass
+class VirtualSpan:
+    """CPU/wall deltas measured across a ``measure`` block."""
+
+    cpu: float = 0.0
+    wall: float = 0.0
+    server_cpu: float = 0.0
+
+
+@contextmanager
+def measure(clock: VirtualClock) -> Iterator[VirtualSpan]:
+    """Capture the virtual CPU/wall time consumed inside the block.
+
+    The span is finalized with a clock sync, so outstanding non-blocking
+    completions are included in the wall figure (as the paper's real
+    times include the end-of-run join).
+    """
+    span = VirtualSpan()
+    cpu0, wall0 = clock.cpu, clock.wall
+    server0 = clock.server_cpu
+    try:
+        yield span
+    finally:
+        clock.sync()
+        span.cpu = clock.cpu - cpu0
+        span.wall = clock.wall - wall0
+        span.server_cpu = clock.server_cpu - server0

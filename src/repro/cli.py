@@ -1,0 +1,290 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage (also available as the ``repro-bench`` console script)::
+
+    python -m repro.cli table1              # Table 1 estimator comparison
+    python -m repro.cli table2              # Table 2 AL/ER/MR timings
+    python -m repro.cli figure3             # Figure 3 buffer-size sweep
+    python -m repro.cli figure4             # Figure 4/5 worked example
+    python -m repro.cli faultsim FILE.bench # fault-simulate a netlist
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from .bench.reporting import ascii_plot, format_table
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .bench.table1 import run_table1
+
+    rows = run_table1(width=args.width, eval_patterns=args.patterns)
+    print("Table 1 -- power estimators for MULT "
+          f"({args.width}-bit, {args.patterns} patterns):")
+    print(format_table(
+        ["Estimator", "Avg err %", "RMS err %", "cents/pattern",
+         "CPU s/pattern"],
+        [row.cells() for row in rows]))
+    print("* remote estimator: network time is additionally "
+          "unpredictable")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .bench.scenarios import run_table2
+
+    rows = run_table2(width=args.width, patterns=args.patterns,
+                      buffer_size=args.buffer)
+    print(f"Table 2 -- {args.patterns} patterns, buffer of "
+          f"{args.buffer}:")
+    print(format_table(
+        ["Design", "Host", "CPU time (s)", "Real time (s)"],
+        [[row.scenario, row.host, f"{row.cpu:.0f}", f"{row.real:.0f}"]
+         for row in rows]))
+    return 0
+
+
+def _cmd_figure3(args: argparse.Namespace) -> int:
+    from .bench.scenarios import run_buffer_sweep
+
+    percents = [1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+    series = run_buffer_sweep(percents, width=args.width,
+                              patterns=args.patterns)
+    print("Figure 3 -- real and CPU time vs pattern buffer size "
+          "(ER over WAN, accurate-simulator call disabled):")
+    print(format_table(["Buffer %", "Real (s)", "CPU (s)"],
+                       [[pct, f"{real:.1f}", f"{cpu:.1f}"]
+                        for pct, real, cpu in series]))
+    print()
+    print(ascii_plot([(pct, real) for pct, real, _ in series],
+                     label="wall clock time"))
+    return 0
+
+
+def _cmd_figure4(_args: argparse.Namespace) -> int:
+    from .bench.faultbench import build_figure4
+    from .core.signal import Logic
+
+    setup = build_figure4(collapse="none")
+    table = setup.servant.detection_table([Logic.ONE, Logic.ZERO],
+                                          setup.fault_list.names())
+    print("Figure 4 -- IP1 detection table for (IIP1, IIP2) = (1, 0):")
+    print(format_table(
+        ["Faulty output (OIP1, OIP2)", "Fault list"],
+        [["".join(str(int(b)) for b in pattern),
+          ", ".join(sorted(n for n in names if "->" not in n))]
+         for pattern, names in sorted(
+             table.rows.items(),
+             key=lambda item: tuple(int(b) for b in item[0]))]))
+    report = setup.simulator.run([{"A": 1, "B": 1, "C": 0, "D": 0}])
+    print(f"\npattern ABCD=1100 detects I3sa0: "
+          f"{'IP1:I3sa0' in report.detected}")
+    fresh = build_figure4(collapse="none")
+    report = fresh.simulator.run([{"A": 1, "B": 1, "C": 0, "D": 1}])
+    print(f"pattern ABCD=1101 detects I3sa0: "
+          f"{'IP1:I3sa0' in report.detected} "
+          f"(and I4sa1: {'IP1:I4sa1' in report.detected})")
+    return 0
+
+
+def _cmd_faultsim(args: argparse.Namespace) -> int:
+    from .core.signal import Logic
+    from .faults.faultlist import build_fault_list
+    from .faults.serial import SerialFaultSimulator
+    from .gates.io import read_bench
+
+    with open(args.netlist) as handle:
+        netlist = read_bench(handle.read(), name=args.netlist)
+    fault_list = build_fault_list(netlist, collapse=args.collapse)
+    simulator = SerialFaultSimulator(netlist, fault_list)
+    rng = random.Random(args.seed)
+    patterns = [{net: Logic(rng.getrandbits(1))
+                 for net in netlist.inputs}
+                for _ in range(args.patterns)]
+    report = simulator.run(patterns)
+    print(f"{args.netlist}: {netlist.gate_count()} gates, "
+          f"{len(netlist.inputs)} inputs, {len(netlist.outputs)} outputs")
+    print(f"fault list ({args.collapse}): {len(fault_list)} faults")
+    print(f"{args.patterns} random patterns -> "
+          f"{report.detected_count}/{report.total_faults} detected "
+          f"({report.coverage:.1%} coverage)")
+    if args.history:
+        history = report.coverage_history()
+        print(ascii_plot(list(enumerate(history)),
+                         label="coverage vs pattern"))
+    return 0
+
+
+def _cmd_atpg(args: argparse.Namespace) -> int:
+    from .faults.atpg import generate_test_set
+    from .faults.faultlist import build_fault_list
+    from .gates.io import read_bench
+    from .gates.scoap import ScoapAnalysis
+
+    with open(args.netlist) as handle:
+        netlist = read_bench(handle.read(), name=args.netlist)
+    fault_list = build_fault_list(netlist, collapse=args.collapse)
+    test_set = generate_test_set(netlist, fault_list,
+                                 random_patterns=args.random_patterns,
+                                 seed=args.seed)
+    print(f"{args.netlist}: {netlist.gate_count()} gates, "
+          f"{len(fault_list)} target faults ({args.collapse})")
+    print(f"test set: {len(test_set.patterns)} patterns, "
+          f"coverage {test_set.coverage:.1%} "
+          f"(testable coverage {test_set.testable_coverage:.1%})")
+    if test_set.untestable:
+        print(f"untestable (redundant) faults: "
+              f"{', '.join(test_set.untestable)}")
+    if test_set.aborted:
+        print(f"aborted (backtrack limit): {len(test_set.aborted)}")
+    analysis = ScoapAnalysis(netlist)
+    hardest_net, effort = analysis.hardest_fault()
+    print(f"SCOAP hardest site: {hardest_net} (effort {effort})")
+    if args.show_patterns:
+        inputs = netlist.inputs
+        print("patterns (" + " ".join(inputs) + "):")
+        for pattern in test_set.patterns:
+            print("  " + " ".join(str(int(pattern[net]))
+                                  for net in inputs))
+    return 0
+
+
+def _cmd_scoap(args: argparse.Namespace) -> int:
+    from .gates.analysis import critical_path, netlist_stats
+    from .gates.io import read_bench
+    from .gates.scoap import ScoapAnalysis
+
+    with open(args.netlist) as handle:
+        netlist = read_bench(handle.read(), name=args.netlist)
+    print(netlist_stats(netlist))
+    print("critical path:", " -> ".join(critical_path(netlist)))
+    analysis = ScoapAnalysis(netlist)
+    rows = []
+    for net in netlist.nets():
+        numbers = analysis.numbers(net)
+        rows.append([net, numbers.cc0, numbers.cc1,
+                     numbers.co if numbers.co < 10 ** 9 else "inf",
+                     max(numbers.testability_0, numbers.testability_1)])
+    rows.sort(key=lambda row: (row[4] if isinstance(row[4], int)
+                               else 10 ** 9), reverse=True)
+    print()
+    print(format_table(["Net", "CC0", "CC1", "CO", "worst effort"],
+                       rows[:args.top]))
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    """A reduced-scale pass over every experiment, one screen each."""
+    quick = args.quick
+    print("=" * 66)
+    print("Table 1 -- power estimators")
+    print("=" * 66)
+    _cmd_table1(argparse.Namespace(width=6 if quick else 8,
+                                   patterns=80 if quick else 150))
+    print()
+    print("=" * 66)
+    print("Table 2 -- AL / ER / MR scenarios")
+    print("=" * 66)
+    _cmd_table2(argparse.Namespace(width=8 if quick else 16,
+                                   patterns=40 if quick else 100,
+                                   buffer=5))
+    print()
+    print("=" * 66)
+    print("Figure 3 -- buffer-size sweep")
+    print("=" * 66)
+    from .bench.scenarios import run_buffer_sweep
+    percents = [1, 5, 10, 25, 50, 100] if quick else \
+        [1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+    series = run_buffer_sweep(percents, width=8 if quick else 16,
+                              patterns=40 if quick else 100)
+    print(format_table(["Buffer %", "Real (s)", "CPU (s)"],
+                       [[pct, f"{real:.1f}", f"{cpu:.1f}"]
+                        for pct, real, cpu in series]))
+    print()
+    print("=" * 66)
+    print("Figures 4-5 -- virtual fault simulation")
+    print("=" * 66)
+    _cmd_figure4(argparse.Namespace())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the JavaCAD paper's experiments.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser(
+        "table1", help="power-estimator comparison (Table 1)")
+    table1.add_argument("--width", type=int, default=8)
+    table1.add_argument("--patterns", type=int, default=150)
+    table1.set_defaults(fn=_cmd_table1)
+
+    table2 = subparsers.add_parser(
+        "table2", help="AL/ER/MR timing scenarios (Table 2)")
+    table2.add_argument("--width", type=int, default=16)
+    table2.add_argument("--patterns", type=int, default=100)
+    table2.add_argument("--buffer", type=int, default=5)
+    table2.set_defaults(fn=_cmd_table2)
+
+    figure3 = subparsers.add_parser(
+        "figure3", help="buffer-size sweep (Figure 3)")
+    figure3.add_argument("--width", type=int, default=16)
+    figure3.add_argument("--patterns", type=int, default=100)
+    figure3.set_defaults(fn=_cmd_figure3)
+
+    figure4 = subparsers.add_parser(
+        "figure4", help="half-adder fault-simulation example "
+                        "(Figures 4-5)")
+    figure4.set_defaults(fn=_cmd_figure4)
+
+    faultsim = subparsers.add_parser(
+        "faultsim", help="serial fault simulation of a .bench netlist")
+    faultsim.add_argument("netlist", help="ISCAS .bench file")
+    faultsim.add_argument("--patterns", type=int, default=64)
+    faultsim.add_argument("--seed", type=int, default=0)
+    faultsim.add_argument("--collapse", default="equivalence",
+                          choices=["none", "equivalence", "dominance"])
+    faultsim.add_argument("--history", action="store_true",
+                          help="plot incremental coverage")
+    faultsim.set_defaults(fn=_cmd_faultsim)
+
+    atpg = subparsers.add_parser(
+        "atpg", help="generate a stuck-at test set for a .bench netlist")
+    atpg.add_argument("netlist", help="ISCAS .bench file")
+    atpg.add_argument("--random-patterns", type=int, default=32)
+    atpg.add_argument("--seed", type=int, default=0)
+    atpg.add_argument("--collapse", default="equivalence",
+                      choices=["none", "equivalence", "dominance"])
+    atpg.add_argument("--show-patterns", action="store_true")
+    atpg.set_defaults(fn=_cmd_atpg)
+
+    scoap = subparsers.add_parser(
+        "scoap", help="SCOAP testability report for a .bench netlist")
+    scoap.add_argument("netlist", help="ISCAS .bench file")
+    scoap.add_argument("--top", type=int, default=20,
+                       help="show the N hardest nets")
+    scoap.set_defaults(fn=_cmd_scoap)
+
+    everything = subparsers.add_parser(
+        "all", help="run every paper experiment (use --quick for a "
+                    "reduced-scale pass)")
+    everything.add_argument("--quick", action="store_true")
+    everything.set_defaults(fn=_cmd_all)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    sys.exit(main())

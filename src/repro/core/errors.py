@@ -1,0 +1,73 @@
+"""Exception hierarchy for the repro (JavaCAD reproduction) library.
+
+All library-defined exceptions derive from :class:`ReproError` so that
+callers can catch everything raised by the framework with a single
+``except`` clause while still distinguishing subsystems.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DesignError(ReproError):
+    """Structural problem in a design: bad connection, port misuse, etc."""
+
+
+class ConnectionError_(DesignError):
+    """A connector was attached incorrectly (arity, direction, width)."""
+
+
+class WidthMismatchError(DesignError):
+    """Two connected endpoints disagree on bit width."""
+
+
+class SimulationError(ReproError):
+    """Runtime problem during event-driven simulation."""
+
+
+class SchedulerInterferenceError(SimulationError):
+    """An attempt was made to cross the boundary between two schedulers.
+
+    The paper's scheduling mechanism guarantees that concurrently running
+    schedulers cannot interfere; this error is raised when client code
+    tries to schedule a token on a scheduler other than the one that
+    delivered the current event.
+    """
+
+
+class EstimationError(ReproError):
+    """Problem in the cost-estimation framework."""
+
+
+class SetupError(EstimationError):
+    """A setup controller could not satisfy a requested criterion."""
+
+
+class MarshalError(ReproError):
+    """An object was rejected by the restricted RMI marshaller.
+
+    Raised whenever a value outside the serialization whitelist -- in
+    particular modules, designs, netlists, or private IP objects -- is
+    about to cross the client/server boundary.
+    """
+
+
+class RemoteError(ReproError):
+    """A remote method invocation failed (transport or servant error)."""
+
+
+class SecurityViolationError(ReproError):
+    """Downloaded (non-trusted) code attempted a forbidden operation."""
+
+
+class FaultSimulationError(ReproError):
+    """Problem during (virtual) fault simulation."""
+
+
+class IPProtectionError(ReproError):
+    """An operation would have disclosed IP-protected information."""
+
+
+class BillingError(ReproError):
+    """Problem in estimator billing (insufficient budget, unknown fee)."""

@@ -1,0 +1,339 @@
+"""Signal values for multi-level simulation.
+
+Two value domains are supported, mirroring JavaCAD's gate- and word-level
+connectors:
+
+* :class:`Logic` -- a four-valued scalar logic (``0``, ``1``, ``X``, ``Z``)
+  used by gate-level models.  ``X`` is *unknown*, ``Z`` is *high
+  impedance*; a ``Z`` driven into a gate input is read as ``X``.
+* :class:`Word` -- a fixed-width unsigned integer used by RT-level models.
+  A word may be *unknown* (its ``known`` flag false), which propagates
+  through arithmetic like ``X`` does through gates.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Sequence, Tuple, Union
+
+
+class Logic(enum.IntEnum):
+    """Four-valued scalar logic value."""
+
+    ZERO = 0
+    ONE = 1
+    X = 2
+    Z = 3
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def from_bool(value: bool) -> "Logic":
+        """Map a Python boolean to ``ONE``/``ZERO``."""
+        return Logic.ONE if value else Logic.ZERO
+
+    @staticmethod
+    def from_char(char: str) -> "Logic":
+        """Parse a single character (``0 1 x X z Z``) into a Logic value."""
+        try:
+            return _CHAR_TO_LOGIC[char]
+        except KeyError:
+            raise ValueError(f"not a logic character: {char!r}") from None
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_known(self) -> bool:
+        """True for ``ZERO``/``ONE``; false for ``X``/``Z``."""
+        return self in (Logic.ZERO, Logic.ONE)
+
+    def to_bool(self) -> bool:
+        """Convert a known value to bool; raise on ``X``/``Z``."""
+        if not self.is_known:
+            raise ValueError(f"cannot convert {self.name} to bool")
+        return self is Logic.ONE
+
+    def to_char(self) -> str:
+        """Single-character representation: ``0``, ``1``, ``X`` or ``Z``."""
+        return _LOGIC_TO_CHAR[self]
+
+    # -- gate input normalization -------------------------------------------
+
+    def driven(self) -> "Logic":
+        """Value as seen by a gate input: ``Z`` degrades to ``X``."""
+        return Logic.X if self is Logic.Z else self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Logic.{self.name}"
+
+
+_CHAR_TO_LOGIC = {
+    "0": Logic.ZERO,
+    "1": Logic.ONE,
+    "x": Logic.X,
+    "X": Logic.X,
+    "z": Logic.Z,
+    "Z": Logic.Z,
+}
+_LOGIC_TO_CHAR = {
+    Logic.ZERO: "0",
+    Logic.ONE: "1",
+    Logic.X: "X",
+    Logic.Z: "Z",
+}
+
+
+# ---------------------------------------------------------------------------
+# Four-valued boolean algebra (inputs normalized through ``driven()``).
+# ---------------------------------------------------------------------------
+
+
+def logic_not(a: Logic) -> Logic:
+    """Four-valued NOT."""
+    a = a.driven()
+    if a is Logic.X:
+        return Logic.X
+    return Logic.ONE if a is Logic.ZERO else Logic.ZERO
+
+
+def logic_and(*inputs: Logic) -> Logic:
+    """Four-valued AND: a single 0 dominates; otherwise X poisons."""
+    saw_x = False
+    for value in inputs:
+        value = value.driven()
+        if value is Logic.ZERO:
+            return Logic.ZERO
+        if value is Logic.X:
+            saw_x = True
+    return Logic.X if saw_x else Logic.ONE
+
+
+def logic_or(*inputs: Logic) -> Logic:
+    """Four-valued OR: a single 1 dominates; otherwise X poisons."""
+    saw_x = False
+    for value in inputs:
+        value = value.driven()
+        if value is Logic.ONE:
+            return Logic.ONE
+        if value is Logic.X:
+            saw_x = True
+    return Logic.X if saw_x else Logic.ZERO
+
+
+def logic_xor(*inputs: Logic) -> Logic:
+    """Four-valued XOR: any X makes the result X."""
+    acc = 0
+    for value in inputs:
+        value = value.driven()
+        if value is Logic.X:
+            return Logic.X
+        acc ^= int(value)
+    return Logic(acc)
+
+
+def logic_nand(*inputs: Logic) -> Logic:
+    """Four-valued NAND."""
+    return logic_not(logic_and(*inputs))
+
+
+def logic_nor(*inputs: Logic) -> Logic:
+    """Four-valued NOR."""
+    return logic_not(logic_or(*inputs))
+
+
+def logic_xnor(*inputs: Logic) -> Logic:
+    """Four-valued XNOR."""
+    return logic_not(logic_xor(*inputs))
+
+
+def logic_buf(a: Logic) -> Logic:
+    """Buffer: pass the driven value through."""
+    return a.driven()
+
+
+def logic_mux(select: Logic, a: Logic, b: Logic) -> Logic:
+    """Two-way mux: ``a`` when select is 0, ``b`` when select is 1.
+
+    With an unknown select the result is known only if both data inputs
+    agree.
+    """
+    select = select.driven()
+    if select is Logic.ZERO:
+        return a.driven()
+    if select is Logic.ONE:
+        return b.driven()
+    a, b = a.driven(), b.driven()
+    return a if (a is b and a.is_known) else Logic.X
+
+
+# ---------------------------------------------------------------------------
+# Bit vectors
+# ---------------------------------------------------------------------------
+
+
+def bits_from_int(value: int, width: int) -> Tuple[Logic, ...]:
+    """Little-endian (LSB first) logic vector for an unsigned integer."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return tuple(Logic((value >> i) & 1) for i in range(width))
+
+
+def int_from_bits(bits: Sequence[Logic]) -> int:
+    """Unsigned integer from a little-endian logic vector; raises on X/Z."""
+    result = 0
+    for i, bit in enumerate(bits):
+        result |= bit.to_bool() << i
+    return result
+
+
+def bits_to_string(bits: Sequence[Logic]) -> str:
+    """MSB-first string rendering of a little-endian logic vector."""
+    return "".join(bit.to_char() for bit in reversed(bits))
+
+
+def bits_from_string(text: str) -> Tuple[Logic, ...]:
+    """Parse an MSB-first string (e.g. ``"10X1"``) into an LSB-first vector."""
+    return tuple(Logic.from_char(char) for char in reversed(text))
+
+
+class Word:
+    """An immutable fixed-width unsigned word, possibly unknown.
+
+    Words are the value domain of RT-level connectors.  All arithmetic is
+    performed modulo ``2 ** width``.  Operations involving an unknown word
+    yield an unknown word of the appropriate width.
+    """
+
+    __slots__ = ("_value", "_width", "_known")
+
+    def __init__(self, value: int, width: int, known: bool = True):
+        if width <= 0:
+            raise ValueError(f"word width must be positive, got {width}")
+        self._width = width
+        self._known = bool(known)
+        self._value = int(value) & ((1 << width) - 1) if known else 0
+
+    # -- constructors -----------------------------------------------------
+
+    @staticmethod
+    def unknown(width: int) -> "Word":
+        """An unknown word of the given width (the word-level ``X``)."""
+        return Word(0, width, known=False)
+
+    @staticmethod
+    def from_bits(bits: Sequence[Logic]) -> "Word":
+        """Build a word from an LSB-first logic vector.
+
+        Any ``X``/``Z`` bit makes the whole word unknown.
+        """
+        if not all(bit.is_known for bit in bits):
+            return Word.unknown(len(bits))
+        return Word(int_from_bits(bits), len(bits))
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """The integer value; raises :class:`ValueError` if unknown."""
+        if not self._known:
+            raise ValueError("word value is unknown")
+        return self._value
+
+    @property
+    def width(self) -> int:
+        """Bit width of the word."""
+        return self._width
+
+    @property
+    def known(self) -> bool:
+        """Whether the word carries a defined value."""
+        return self._known
+
+    def to_bits(self) -> Tuple[Logic, ...]:
+        """LSB-first logic vector; unknown words expand to all-X."""
+        if not self._known:
+            return tuple(Logic.X for _ in range(self._width))
+        return bits_from_int(self._value, self._width)
+
+    def resize(self, width: int) -> "Word":
+        """Zero-extend or truncate to a new width."""
+        if not self._known:
+            return Word.unknown(width)
+        return Word(self._value, width)
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def _binary(self, other: "Word", op, width: int) -> "Word":
+        if not isinstance(other, Word):
+            return NotImplemented
+        if not (self._known and other._known):
+            return Word.unknown(width)
+        return Word(op(self._value, other._value), width)
+
+    def __add__(self, other: "Word") -> "Word":
+        return self._binary(other, lambda a, b: a + b,
+                            max(self._width, other.width))
+
+    def __sub__(self, other: "Word") -> "Word":
+        return self._binary(other, lambda a, b: a - b,
+                            max(self._width, other.width))
+
+    def __mul__(self, other: "Word") -> "Word":
+        return self._binary(other, lambda a, b: a * b,
+                            self._width + other.width)
+
+    def __and__(self, other: "Word") -> "Word":
+        return self._binary(other, lambda a, b: a & b,
+                            max(self._width, other.width))
+
+    def __or__(self, other: "Word") -> "Word":
+        return self._binary(other, lambda a, b: a | b,
+                            max(self._width, other.width))
+
+    def __xor__(self, other: "Word") -> "Word":
+        return self._binary(other, lambda a, b: a ^ b,
+                            max(self._width, other.width))
+
+    def __invert__(self) -> "Word":
+        if not self._known:
+            return Word.unknown(self._width)
+        return Word(~self._value, self._width)
+
+    # -- comparisons ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Word):
+            return NotImplemented
+        return (self._width == other._width
+                and self._known == other._known
+                and self._value == other._value)
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._width, self._known))
+
+    def __repr__(self) -> str:
+        if not self._known:
+            return f"Word.unknown({self._width})"
+        return f"Word({self._value}, {self._width})"
+
+
+SignalValue = Union[Logic, Word]
+"""Any value that may travel on a connector."""
+
+
+def toggles(old: SignalValue, new: SignalValue) -> int:
+    """Number of bit flips between two signal values (for power models).
+
+    Unknown bits never count as toggles.
+    """
+    if isinstance(old, Logic) and isinstance(new, Logic):
+        if old.is_known and new.is_known and old is not new:
+            return 1
+        return 0
+    if isinstance(old, Word) and isinstance(new, Word):
+        if not (old.known and new.known):
+            return 0
+        return bin(old.value ^ new.resize(old.width).value).count("1")
+    return 0

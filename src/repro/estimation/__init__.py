@@ -1,0 +1,25 @@
+"""Cost-estimation framework: parameters, estimators, setups, criteria."""
+
+from .aggregate import design_metric, estimate_static
+from .criteria import (ByName, Criterion, Fastest, MaxAccuracy, MinCost,
+                       PreferLocal)
+from .estimator import (CallableEstimator, ConstantEstimator,
+                        EstimatorSkeleton, NullEstimator, RemoteEstimator)
+from .report import ComponentRow, DesignReport, design_report
+from .parameter import (AREA, AVERAGE_POWER, DELAY, IO_ACTIVITY, PEAK_POWER,
+                        STANDARD_PARAMETERS, TESTABILITY, NullValue,
+                        Parameter, ParamValue)
+from .setup import EstimationRecord, EstimationResults, SetupController
+
+__all__ = [
+    "ComponentRow", "DesignReport", "design_report",
+    "design_metric", "estimate_static",
+    "ByName", "Criterion", "Fastest", "MaxAccuracy", "MinCost",
+    "PreferLocal",
+    "CallableEstimator", "ConstantEstimator", "EstimatorSkeleton",
+    "NullEstimator", "RemoteEstimator",
+    "AREA", "AVERAGE_POWER", "DELAY", "IO_ACTIVITY", "PEAK_POWER",
+    "STANDARD_PARAMETERS", "TESTABILITY", "NullValue", "Parameter",
+    "ParamValue",
+    "EstimationRecord", "EstimationResults", "SetupController",
+]

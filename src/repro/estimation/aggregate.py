@@ -1,0 +1,66 @@
+"""Aggregation of per-component estimates into design-level metrics.
+
+Typical cost metrics (area, delay, power) are local, additive properties
+that providers evaluate independently per component and users sum into
+global design metrics.  Delay is the exception -- the design metric is a
+worst case, not a sum -- so the helpers honor each parameter's
+``additive`` flag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from ..core.controller import SimulationController
+from ..core.design import Circuit
+from ..core.errors import EstimationError
+from ..core.token import EstimationToken
+from .parameter import Parameter, STANDARD_PARAMETERS
+from .setup import EstimationResults, SetupController
+
+
+def design_metric(results: EstimationResults,
+                  parameter: Union[str, Parameter]) -> Optional[float]:
+    """Compose per-module estimates into one design-level value.
+
+    Additive parameters sum each module's latest estimate; non-additive
+    ones (delay, peak power) take the maximum.  Returns None when no
+    module reported a value.
+    """
+    if isinstance(parameter, str):
+        parameter = STANDARD_PARAMETERS.get(
+            parameter, Parameter(parameter))
+    per_module: Dict[str, float] = {}
+    for record in results.records:
+        if record.parameter == parameter.name and not record.value.is_null:
+            per_module[record.module] = float(record.value.value)
+    if not per_module:
+        return None
+    if parameter.additive:
+        return sum(per_module.values())
+    return max(per_module.values())
+
+
+def estimate_static(circuit: Circuit, setup: SetupController,
+                    controller: Optional[SimulationController] = None
+                    ) -> EstimationResults:
+    """Evaluate a setup once, without running a functional simulation.
+
+    Sends one estimation token to every module (static estimation: data
+    sheet values, precharacterized models).  A controller may be supplied
+    to reuse its clock and scheduler identity; otherwise a throwaway one
+    is created.
+    """
+    throwaway = controller is None
+    if controller is None:
+        controller = SimulationController(circuit, setup=setup)
+    ctx = controller.context
+    for module in circuit.modules:
+        token = EstimationToken(module, setup, setup.results)
+        token.scheduler_id = ctx.scheduler_id
+        module.receive(token, ctx)
+    if throwaway:
+        # Do not leave per-scheduler LUT entries behind for a scheduler
+        # that will never run again.
+        controller.teardown()
+    return setup.results

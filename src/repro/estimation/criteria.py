@@ -1,0 +1,115 @@
+"""Selection criteria: how a setup chooses among candidate estimators.
+
+The user's ``set(parameter, criterion)`` call specifies *criteria* for
+choosing the estimator for a parameter; during ``apply`` the criterion
+inspects each module's candidate list and picks one (or nothing, which
+triggers the null-estimator fallback and a warning).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .estimator import EstimatorSkeleton
+
+
+class Criterion:
+    """Base class: choose one estimator from a candidate list."""
+
+    def choose(self, candidates: Sequence[EstimatorSkeleton]
+               ) -> Optional[EstimatorSkeleton]:
+        """Return the chosen estimator, or None if no candidate fits."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return type(self).__name__
+
+
+class MaxAccuracy(Criterion):
+    """Most accurate estimator, subject to optional cost/CPU budgets."""
+
+    def __init__(self, cost_limit: Optional[float] = None,
+                 cpu_limit: Optional[float] = None):
+        self.cost_limit = cost_limit
+        self.cpu_limit = cpu_limit
+
+    def choose(self, candidates: Sequence[EstimatorSkeleton]
+               ) -> Optional[EstimatorSkeleton]:
+        eligible = [
+            est for est in candidates
+            if (self.cost_limit is None or est.cost <= self.cost_limit)
+            and (self.cpu_limit is None or est.cpu_time <= self.cpu_limit)
+        ]
+        if not eligible:
+            return None
+        return min(eligible, key=lambda est: (est.expected_error, est.cost,
+                                              est.cpu_time))
+
+
+class MinCost(Criterion):
+    """Cheapest estimator, optionally requiring a maximum error."""
+
+    def __init__(self, error_limit: Optional[float] = None):
+        self.error_limit = error_limit
+
+    def choose(self, candidates: Sequence[EstimatorSkeleton]
+               ) -> Optional[EstimatorSkeleton]:
+        eligible = [
+            est for est in candidates
+            if self.error_limit is None
+            or est.expected_error <= self.error_limit
+        ]
+        if not eligible:
+            return None
+        return min(eligible, key=lambda est: (est.cost, est.expected_error))
+
+
+class Fastest(Criterion):
+    """Lowest expected CPU time, optionally requiring a maximum error."""
+
+    def __init__(self, error_limit: Optional[float] = None):
+        self.error_limit = error_limit
+
+    def choose(self, candidates: Sequence[EstimatorSkeleton]
+               ) -> Optional[EstimatorSkeleton]:
+        eligible = [
+            est for est in candidates
+            if self.error_limit is None
+            or est.expected_error <= self.error_limit
+        ]
+        if not eligible:
+            return None
+        return min(eligible,
+                   key=lambda est: (est.cpu_time, est.expected_error))
+
+
+class PreferLocal(Criterion):
+    """Most accurate *local* estimator; never selects a remote one.
+
+    Useful when the user wants estimation without paying provider fees
+    or network delays.
+    """
+
+    def choose(self, candidates: Sequence[EstimatorSkeleton]
+               ) -> Optional[EstimatorSkeleton]:
+        local = [est for est in candidates if not est.remote]
+        if not local:
+            return None
+        return min(local, key=lambda est: est.expected_error)
+
+
+class ByName(Criterion):
+    """Select an estimator by its unique name."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def choose(self, candidates: Sequence[EstimatorSkeleton]
+               ) -> Optional[EstimatorSkeleton]:
+        for est in candidates:
+            if est.name == self.name:
+                return est
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ByName({self.name!r})"

@@ -1,0 +1,128 @@
+"""Parameters and parameter values.
+
+Cost and performance metrics -- area, propagation delay, average power,
+peak power, I/O activity and so on -- are called *parameters* in
+JavaCAD.  An estimator evaluates a parameter's actual value, producing a
+:class:`ParamValue`; detection tables for fault simulation are parameter
+values too (:class:`~repro.faults.detection.DetectionTable` derives from
+:class:`ParamValue`), which is what lets the fault-simulation protocol
+ride on the ordinary dynamic-estimation machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..rmi.marshal import register_value_type
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A metric that estimators can evaluate."""
+
+    name: str
+    units: str = ""
+    additive: bool = True
+    """Whether per-component values sum to a meaningful design value
+    (true for the typical cost metrics; false e.g. for testability)."""
+
+    description: str = ""
+
+    def __str__(self) -> str:
+        return self.name
+
+
+AREA = Parameter("area", "eq-gates", True, "silicon area")
+DELAY = Parameter("delay", "ns", False, "propagation delay")
+AVERAGE_POWER = Parameter("average_power", "mW", True,
+                          "average power per pattern")
+PEAK_POWER = Parameter("peak_power", "mW", False, "peak power")
+IO_ACTIVITY = Parameter("io_activity", "toggles", True,
+                        "I/O switching activity")
+TESTABILITY = Parameter("testability", "", False,
+                        "detection table for the current pattern")
+
+STANDARD_PARAMETERS = {
+    p.name: p
+    for p in (AREA, DELAY, AVERAGE_POWER, PEAK_POWER, IO_ACTIVITY,
+              TESTABILITY)
+}
+"""The paper's standard cost metrics, by name."""
+
+
+class ParamValue:
+    """The result of one estimator invocation.
+
+    A plain value object (it marshals over RMI) carrying the parameter
+    name, the value itself, and the expected error declared by the
+    estimator that produced it.
+    """
+
+    def __init__(self, parameter: str, value: Any, units: str = "",
+                 expected_error: Optional[float] = None,
+                 estimator: str = ""):
+        self.parameter = parameter
+        self.value = value
+        self.units = units
+        self.expected_error = expected_error
+        self.estimator = estimator
+
+    @property
+    def is_null(self) -> bool:
+        """Whether this is the null estimator's placeholder value."""
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ParamValue):
+            return NotImplemented
+        return (self.parameter == other.parameter
+                and self.value == other.value
+                and self.units == other.units
+                and self.expected_error == other.expected_error
+                and self.estimator == other.estimator)
+
+    def __repr__(self) -> str:
+        return (f"ParamValue({self.parameter}={self.value!r}{self.units}"
+                f", by {self.estimator or '?'})")
+
+
+class NullValue(ParamValue):
+    """The "proper null value" returned by the default null estimator.
+
+    Null values make partial estimation possible: modules without a
+    satisfiable estimator still answer estimation tokens, and aggregation
+    simply skips nulls.
+    """
+
+    def __init__(self, parameter: str):
+        super().__init__(parameter, None, estimator="null")
+
+    @property
+    def is_null(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"NullValue({self.parameter})"
+
+
+def _param_value_to_wire(pv: ParamValue) -> dict:
+    return {
+        "null": pv.is_null,
+        "parameter": pv.parameter,
+        "value": pv.value,
+        "units": pv.units,
+        "expected_error": pv.expected_error,
+        "estimator": pv.estimator,
+    }
+
+
+def _param_value_from_wire(wire: dict) -> ParamValue:
+    if wire["null"]:
+        return NullValue(wire["parameter"])
+    return ParamValue(wire["parameter"], wire["value"], wire["units"],
+                      wire["expected_error"], wire["estimator"])
+
+
+register_value_type("paramvalue", ParamValue, _param_value_to_wire,
+                    _param_value_from_wire)

@@ -1,0 +1,114 @@
+"""Design-level estimation reports.
+
+Turns collected :class:`~repro.estimation.setup.EstimationResults` into
+the per-component / design-total summary an IP user reads when deciding
+whether to purchase -- the human-facing end of the evaluation flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.design import Circuit
+from .parameter import STANDARD_PARAMETERS, Parameter
+from .setup import EstimationResults, SetupController
+
+
+@dataclass(frozen=True)
+class ComponentRow:
+    """One component's latest estimate per requested parameter."""
+
+    module: str
+    values: Tuple[Tuple[str, Optional[float]], ...]
+
+
+@dataclass(frozen=True)
+class DesignReport:
+    """Per-component estimates plus composed design totals."""
+
+    parameters: Tuple[str, ...]
+    rows: Tuple[ComponentRow, ...]
+    totals: Tuple[Tuple[str, Optional[float]], ...]
+    warnings: Tuple[str, ...]
+
+    def total(self, parameter: str) -> Optional[float]:
+        """The composed design value of one parameter."""
+        for name, value in self.totals:
+            if name == parameter:
+                return value
+        return None
+
+    def render(self) -> str:
+        """A monospace table rendering of the report."""
+        from ..bench.reporting import format_table
+
+        headers = ["Component"] + [self._label(p) for p in
+                                   self.parameters]
+        body: List[List[str]] = []
+        for row in self.rows:
+            cells = [row.module]
+            for _name, value in row.values:
+                cells.append("-" if value is None else f"{value:.4g}")
+            body.append(cells)
+        total_cells = ["TOTAL"]
+        for _name, value in self.totals:
+            total_cells.append("-" if value is None else f"{value:.4g}")
+        body.append(total_cells)
+        text = format_table(headers, body)
+        if self.warnings:
+            text += "\n\nwarnings:\n" + "\n".join(
+                f"  - {warning}" for warning in self.warnings)
+        return text
+
+    @staticmethod
+    def _label(parameter: str) -> str:
+        descriptor = STANDARD_PARAMETERS.get(parameter)
+        if descriptor is not None and descriptor.units:
+            return f"{parameter} ({descriptor.units})"
+        return parameter
+
+
+def design_report(circuit: Circuit, setup: SetupController,
+                  results: Optional[EstimationResults] = None
+                  ) -> DesignReport:
+    """Build a :class:`DesignReport` from a setup's collected results.
+
+    Additive parameters sum across components; non-additive ones (delay,
+    peak power) take the worst case, and the totals row says which rule
+    applied through the parameter's declared ``additive`` flag.
+    """
+    results = results or setup.results
+    parameters = tuple(setup.parameters)
+    rows: List[ComponentRow] = []
+    per_param_values: Dict[str, List[float]] = {p: [] for p in parameters}
+    for module in circuit.modules:
+        values: List[Tuple[str, Optional[float]]] = []
+        any_value = False
+        for parameter in parameters:
+            latest = results.latest(module.name, parameter)
+            if latest is None or not isinstance(latest.value,
+                                                (int, float)):
+                values.append((parameter, None))
+                continue
+            number = float(latest.value)
+            values.append((parameter, number))
+            per_param_values[parameter].append(number)
+            any_value = True
+        if any_value:
+            rows.append(ComponentRow(module.name, tuple(values)))
+
+    totals: List[Tuple[str, Optional[float]]] = []
+    for parameter in parameters:
+        numbers = per_param_values[parameter]
+        if not numbers:
+            totals.append((parameter, None))
+            continue
+        descriptor = STANDARD_PARAMETERS.get(parameter,
+                                             Parameter(parameter))
+        totals.append((parameter,
+                       sum(numbers) if descriptor.additive
+                       else max(numbers)))
+    return DesignReport(parameters=parameters, rows=tuple(rows),
+                        totals=tuple(totals),
+                        warnings=tuple(setup.warnings))

@@ -1,0 +1,83 @@
+"""Coverage accounting across collapsed fault lists.
+
+Collapsed coverage (over representatives) and raw coverage (over the
+full single-stuck-at universe) are both reported; since every member of
+an equivalence class is detected exactly when its representative is,
+expansion is a lookup, not a re-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from .faultlist import FaultList
+from .serial import FaultSimReport
+
+
+@dataclass(frozen=True)
+class CoverageSummary:
+    """Collapsed and expanded (universe) coverage of one run."""
+
+    detected_collapsed: int
+    total_collapsed: int
+    detected_universe: int
+    total_universe: int
+
+    @property
+    def collapsed(self) -> float:
+        """Coverage over the collapsed fault list."""
+        return (self.detected_collapsed / self.total_collapsed
+                if self.total_collapsed else 1.0)
+
+    @property
+    def universe(self) -> float:
+        """Coverage over the full single-stuck-at universe."""
+        return (self.detected_universe / self.total_universe
+                if self.total_universe else 1.0)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.detected_collapsed}/{self.total_collapsed} collapsed"
+                f" ({self.collapsed:.1%}), {self.detected_universe}/"
+                f"{self.total_universe} universe ({self.universe:.1%})")
+
+
+def expand_coverage(report: FaultSimReport,
+                    fault_list: FaultList) -> CoverageSummary:
+    """Expand a single-component report to universe coverage."""
+    detected_universe = sum(
+        len(fault_list.class_of(name)) for name in report.detected)
+    return CoverageSummary(
+        detected_collapsed=len(report.detected),
+        total_collapsed=len(fault_list),
+        detected_universe=detected_universe,
+        total_universe=fault_list.universe_size())
+
+
+def expand_composed_coverage(
+        report: FaultSimReport,
+        fault_lists: Mapping[str, FaultList]) -> CoverageSummary:
+    """Expand a multi-component report with ``block:fault`` naming."""
+    detected_universe = 0
+    for qualified in report.detected:
+        block, _colon, local = qualified.partition(":")
+        detected_universe += len(fault_lists[block].class_of(local))
+    total_universe = sum(fl.universe_size() for fl in fault_lists.values())
+    total_collapsed = sum(len(fl) for fl in fault_lists.values())
+    return CoverageSummary(
+        detected_collapsed=len(report.detected),
+        total_collapsed=total_collapsed,
+        detected_universe=detected_universe,
+        total_universe=total_universe)
+
+
+def reports_agree(left: FaultSimReport, right: FaultSimReport,
+                  rename=lambda name: name) -> bool:
+    """Whether two runs detected the same faults at the same patterns.
+
+    ``rename`` maps the left report's fault names into the right's
+    namespace (e.g. ``IP1:I3sa0`` -> ``I3sa0``).
+    """
+    left_mapped = {rename(name): index
+                   for name, index in left.detected.items()}
+    return left_mapped == dict(right.detected)

@@ -1,0 +1,27 @@
+"""Gate-level substrate: cells, netlists, simulators and generators."""
+
+from .analysis import (NetlistStats, arrival_times, critical_path,
+                       fanin_cone, fanout_cone, netlist_stats, support)
+from .cells import AND, BUF, CELLS, NAND, NOR, NOT, OR, XNOR, XOR, CellType, cell
+from .generators import (array_multiplier, equality_comparator, full_adder,
+                         half_adder, ip1_block, parity_tree, random_netlist,
+                         ripple_carry_adder)
+from .io import C17_BENCH, c17, read_bench, write_bench
+from .module import GateLevelModule, LogicGateModule
+from .netlist import Gate, Netlist
+from .scoap import INFINITY, ScoapAnalysis, ScoapNumbers
+from .simulator import EventDrivenState, NetlistSimulator
+
+__all__ = [
+    "NetlistStats", "arrival_times", "critical_path", "fanin_cone",
+    "fanout_cone", "netlist_stats", "support",
+    "AND", "BUF", "CELLS", "NAND", "NOR", "NOT", "OR", "XNOR", "XOR",
+    "CellType", "cell",
+    "array_multiplier", "equality_comparator", "full_adder", "half_adder",
+    "ip1_block", "parity_tree", "random_netlist", "ripple_carry_adder",
+    "C17_BENCH", "c17", "read_bench", "write_bench",
+    "GateLevelModule", "LogicGateModule",
+    "Gate", "Netlist",
+    "INFINITY", "ScoapAnalysis", "ScoapNumbers",
+    "EventDrivenState", "NetlistSimulator",
+]

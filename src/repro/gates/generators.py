@@ -1,0 +1,238 @@
+"""Structural netlist generators.
+
+These build the gate-level implementations that play the role of the
+paper's undisclosed IP: ripple-carry adders, the array multiplier sold
+as ``MultFastLowPower``, parity trees, comparators, the Figure 4 IP1
+block, and random netlists for property-based testing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.errors import DesignError
+from .netlist import Netlist
+
+
+def half_adder(netlist: Netlist, a: str, b: str,
+               prefix: str) -> Tuple[str, str]:
+    """Add a half adder; returns ``(sum, carry)`` net names."""
+    sum_net = f"{prefix}_s"
+    carry_net = f"{prefix}_c"
+    netlist.add_gate("XOR", [a, b], sum_net, name=f"{prefix}_xor")
+    netlist.add_gate("AND", [a, b], carry_net, name=f"{prefix}_and")
+    return sum_net, carry_net
+
+
+def full_adder(netlist: Netlist, a: str, b: str, cin: str,
+               prefix: str) -> Tuple[str, str]:
+    """Add a full adder; returns ``(sum, carry_out)`` net names."""
+    axb = f"{prefix}_axb"
+    netlist.add_gate("XOR", [a, b], axb, name=f"{prefix}_xor1")
+    sum_net = f"{prefix}_s"
+    netlist.add_gate("XOR", [axb, cin], sum_net, name=f"{prefix}_xor2")
+    t1 = f"{prefix}_t1"
+    t2 = f"{prefix}_t2"
+    netlist.add_gate("AND", [a, b], t1, name=f"{prefix}_and1")
+    netlist.add_gate("AND", [axb, cin], t2, name=f"{prefix}_and2")
+    cout = f"{prefix}_co"
+    netlist.add_gate("OR", [t1, t2], cout, name=f"{prefix}_or")
+    return sum_net, cout
+
+
+def _add_vector(netlist: Netlist, a_nets: Sequence[str],
+                b_nets: Sequence[str], prefix: str) -> List[str]:
+    """Ripple-add two equal-width vectors; returns width+1 sum nets."""
+    if len(a_nets) != len(b_nets):
+        raise DesignError("ripple adder operands must have equal width")
+    sums: List[str] = []
+    carry: Optional[str] = None
+    for index, (a, b) in enumerate(zip(a_nets, b_nets)):
+        stage = f"{prefix}{index}"
+        if carry is None:
+            s, carry = half_adder(netlist, a, b, stage)
+        else:
+            s, carry = full_adder(netlist, a, b, carry, stage)
+        sums.append(s)
+    sums.append(carry)  # type: ignore[arg-type]
+    return sums
+
+
+def ripple_carry_adder(width: int, name: str = "adder") -> Netlist:
+    """An unsigned ripple-carry adder: ``s = a + b`` with carry out.
+
+    Inputs ``a0..a{w-1}``, ``b0..b{w-1}``; outputs ``s0..s{w}``.
+    """
+    if width <= 0:
+        raise DesignError("adder width must be positive")
+    netlist = Netlist(name)
+    a_nets = [netlist.add_input(f"a{i}") for i in range(width)]
+    b_nets = [netlist.add_input(f"b{i}") for i in range(width)]
+    sums = _add_vector(netlist, a_nets, b_nets, "fa")
+    for index, net in enumerate(sums):
+        out = netlist.add_output(f"s{index}")
+        netlist.add_gate("BUF", [net], out, name=f"obuf{index}")
+    netlist.validate()
+    return netlist
+
+
+def array_multiplier(width_a: int, width_b: Optional[int] = None,
+                     name: str = "mult") -> Netlist:
+    """An unsigned array multiplier: the provider's secret implementation.
+
+    Inputs ``a0..`` and ``b0..``; outputs ``p0..p{wa+wb-1}``.  Built from
+    an AND partial-product matrix accumulated with ripple-carry rows --
+    the gate-level structure whose analysis the paper says "cannot be
+    disclosed to the IP user".
+    """
+    width_b = width_b or width_a
+    if width_a <= 0 or width_b <= 0:
+        raise DesignError("multiplier widths must be positive")
+    netlist = Netlist(name)
+    a_nets = [netlist.add_input(f"a{i}") for i in range(width_a)]
+    b_nets = [netlist.add_input(f"b{j}") for j in range(width_b)]
+
+    def partial_row(j: int) -> List[str]:
+        row = []
+        for i in range(width_a):
+            net = f"pp{i}_{j}"
+            netlist.add_gate("AND", [a_nets[i], b_nets[j]], net,
+                             name=f"ppg{i}_{j}")
+            row.append(net)
+        return row
+
+    # Accumulate row by row: at the start of iteration j the accumulator
+    # holds the partial sum bits of weight j-1 and above; its LSB is a
+    # final product bit, the rest ripple-adds with the next row.
+    product: List[str] = []
+    acc = partial_row(0)  # width_a nets, weights 0..width_a-1
+    for j in range(1, width_b):
+        product.append(acc[0])  # product bit of weight j-1 is final
+        high = list(acc[1:])    # weights j .. (len(acc)-1 nets)
+        row = partial_row(j)    # weights j .. j+width_a-1
+        if len(high) < len(row):
+            # First folding only: the accumulator is one bit short of the
+            # new row; pad with a constant-zero net.
+            zero = f"zero{j}"
+            netlist.add_gate("XOR", [a_nets[0], a_nets[0]], zero,
+                             name=f"zerog{j}")
+            high.extend([zero] * (len(row) - len(high)))
+        acc = _add_vector(netlist, high, row, f"r{j}_")
+    product.extend(acc)
+    for index in range(width_a + width_b):
+        out = netlist.add_output(f"p{index}")
+        netlist.add_gate("BUF", [product[index]], out, name=f"obuf{index}")
+    netlist.validate()
+    return netlist
+
+
+def parity_tree(width: int, name: str = "parity") -> Netlist:
+    """An XOR parity tree over ``width`` inputs; output ``par``."""
+    if width < 2:
+        raise DesignError("parity tree needs at least two inputs")
+    netlist = Netlist(name)
+    layer = [netlist.add_input(f"i{i}") for i in range(width)]
+    out = netlist.add_output("par")
+    level = 0
+    while len(layer) > 1:
+        next_layer: List[str] = []
+        for pair_index in range(0, len(layer) - 1, 2):
+            target = (out if len(layer) == 2
+                      else f"x{level}_{pair_index // 2}")
+            netlist.add_gate("XOR",
+                             [layer[pair_index], layer[pair_index + 1]],
+                             target, name=f"xg{level}_{pair_index // 2}")
+            next_layer.append(target)
+        if len(layer) % 2:
+            next_layer.append(layer[-1])
+        layer = next_layer
+        level += 1
+    netlist.validate()
+    return netlist
+
+
+def equality_comparator(width: int, name: str = "cmp") -> Netlist:
+    """``eq = (a == b)`` over two ``width``-bit vectors."""
+    if width <= 0:
+        raise DesignError("comparator width must be positive")
+    netlist = Netlist(name)
+    bit_eq: List[str] = []
+    for i in range(width):
+        a = netlist.add_input(f"a{i}")
+        b = netlist.add_input(f"b{i}")
+        net = f"eq{i}"
+        netlist.add_gate("XNOR", [a, b], net, name=f"xn{i}")
+        bit_eq.append(net)
+    out = netlist.add_output("eq")
+    if width == 1:
+        netlist.add_gate("BUF", bit_eq, out, name="obuf")
+    else:
+        netlist.add_gate("AND", bit_eq, out, name="andall")
+    netlist.validate()
+    return netlist
+
+
+def ip1_block(name: str = "IP1") -> Netlist:
+    """The Figure 4 IP block: a NAND-structured half adder.
+
+    Inputs ``IIP1``/``IIP2``; outputs ``OIP1`` (sum) and ``OIP2``
+    (carry).  The internal nets are named ``I1`` .. ``I6`` so that the
+    symbolic stuck-at fault names match the paper's example
+    (``I3sa0``, ``I6sa1``, ...)::
+
+        I1 = BUF(IIP1)          I2 = BUF(IIP2)
+        I3 = NAND(I1, I2)       I4 = NAND(I1, I3)
+        I5 = NAND(I2, I3)       OIP1 = NAND(I4, I5)   # XOR
+        I6 = AND(I1, I2)        OIP2 = BUF(I6)        # carry
+
+    For input (IIP1, IIP2) = (1, 0) this structure yields exactly the
+    paper's detection-table associations: fault ``I6sa1`` flips the
+    output pair to ``11`` and faults ``I3sa0``/``I4sa1`` flip it to
+    ``00``.
+    """
+    netlist = Netlist(name)
+    netlist.add_input("IIP1")
+    netlist.add_input("IIP2")
+    netlist.add_gate("BUF", ["IIP1"], "I1", name="gI1")
+    netlist.add_gate("BUF", ["IIP2"], "I2", name="gI2")
+    netlist.add_gate("NAND", ["I1", "I2"], "I3", name="gI3")
+    netlist.add_gate("NAND", ["I1", "I3"], "I4", name="gI4")
+    netlist.add_gate("NAND", ["I2", "I3"], "I5", name="gI5")
+    netlist.add_output("OIP1")
+    netlist.add_gate("NAND", ["I4", "I5"], "OIP1", name="gOIP1")
+    netlist.add_gate("AND", ["I1", "I2"], "I6", name="gI6")
+    netlist.add_output("OIP2")
+    netlist.add_gate("BUF", ["I6"], "OIP2", name="gOIP2")
+    netlist.validate()
+    return netlist
+
+
+def random_netlist(n_inputs: int, n_gates: int, n_outputs: int,
+                   seed: int = 0, name: str = "random") -> Netlist:
+    """A random acyclic netlist for property-based tests.
+
+    Gates read only already-existing nets, so the result is acyclic by
+    construction; the last ``n_outputs`` distinct driven nets are exposed
+    as primary outputs (buffered).
+    """
+    if n_inputs < 1 or n_gates < 1 or n_outputs < 1:
+        raise DesignError("random netlist needs inputs, gates and outputs")
+    rng = random.Random(seed)
+    netlist = Netlist(name)
+    available = [netlist.add_input(f"i{i}") for i in range(n_inputs)]
+    cell_names = ["AND", "OR", "NAND", "NOR", "XOR", "XNOR", "NOT", "BUF"]
+    for index in range(n_gates):
+        cell_name = rng.choice(cell_names)
+        arity = 1 if cell_name in ("NOT", "BUF") else rng.choice([2, 2, 2, 3])
+        sources = [rng.choice(available) for _ in range(arity)]
+        net = f"n{index}"
+        netlist.add_gate(cell_name, sources, net, name=f"rg{index}")
+        available.append(net)
+    driven = [gate.output for gate in netlist.gates]
+    chosen = driven[-n_outputs:] if len(driven) >= n_outputs else driven
+    for out_index, net in enumerate(chosen):
+        out = netlist.add_output(f"o{out_index}")
+        netlist.add_gate("BUF", [net], out, name=f"rob{out_index}")
+    netlist.validate()
+    return netlist

@@ -1,0 +1,125 @@
+"""Netlist interchange: the ISCAS ``.bench`` format.
+
+The paper's related work calls the definition of standard design
+interchange formats (VHDL, EDIF) "the first important milestone toward
+reusing EDA infrastructure".  For gate-level test benchmarks the de
+facto standard is the ISCAS ``.bench`` format::
+
+    # c17
+    INPUT(1)
+    ...
+    OUTPUT(22)
+    10 = NAND(1, 3)
+
+This module reads and writes that format, so providers can import
+existing benchmark circuits as IP implementations.  Only combinational
+primitives are supported (``DFF`` lines are rejected -- the simulator
+core is combinational; sequential behaviour lives in backplane modules).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from ..core.errors import DesignError
+from .netlist import Netlist
+
+_CELL_ALIASES = {
+    "AND": "AND", "OR": "OR", "NAND": "NAND", "NOR": "NOR",
+    "XOR": "XOR", "XNOR": "XNOR", "NOT": "NOT", "INV": "NOT",
+    "BUF": "BUF", "BUFF": "BUF",
+}
+
+_LINE = re.compile(
+    r"^\s*(?P<output>[\w.\[\]$-]+)\s*=\s*(?P<cell>\w+)\s*"
+    r"\(\s*(?P<inputs>[^)]*)\)\s*$")
+_IO = re.compile(r"^\s*(?P<kind>INPUT|OUTPUT)\s*\(\s*(?P<net>[\w.\[\]$-]+)"
+                 r"\s*\)\s*$", re.IGNORECASE)
+
+
+def read_bench(text: str, name: str = "bench") -> Netlist:
+    """Parse ISCAS ``.bench`` text into a validated :class:`Netlist`.
+
+    Output nets that are also read elsewhere are handled directly; an
+    ``OUTPUT(n)`` whose net is a primary input gets a buffer inserted
+    (the netlist model forbids driving an input).
+    """
+    netlist = Netlist(name)
+    pending_outputs: List[str] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO.match(line)
+        if io_match:
+            net = io_match.group("net")
+            if io_match.group("kind").upper() == "INPUT":
+                netlist.add_input(net)
+            else:
+                pending_outputs.append(net)
+            continue
+        gate_match = _LINE.match(line)
+        if not gate_match:
+            raise DesignError(
+                f"{name}:{line_number}: cannot parse bench line {raw!r}")
+        cell_name = gate_match.group("cell").upper()
+        if cell_name == "DFF":
+            raise DesignError(
+                f"{name}:{line_number}: sequential DFF lines are not "
+                f"supported; model state with backplane modules")
+        if cell_name not in _CELL_ALIASES:
+            raise DesignError(
+                f"{name}:{line_number}: unknown cell {cell_name!r}")
+        inputs = [token.strip()
+                  for token in gate_match.group("inputs").split(",")
+                  if token.strip()]
+        netlist.add_gate(_CELL_ALIASES[cell_name], inputs,
+                         gate_match.group("output"))
+    for net in pending_outputs:
+        if net in netlist.inputs:
+            buffered = f"{net}_po"
+            netlist.add_gate("BUF", [net], buffered)
+            netlist.add_output(buffered)
+        else:
+            netlist.add_output(net)
+    netlist.validate()
+    return netlist
+
+
+def write_bench(netlist: Netlist) -> str:
+    """Serialize a netlist to ``.bench`` text (roundtrips with read)."""
+    lines = [f"# {netlist.name}"]
+    for net in netlist.inputs:
+        lines.append(f"INPUT({net})")
+    for net in netlist.outputs:
+        lines.append(f"OUTPUT({net})")
+    lines.append("")
+    for gate in netlist.levelize():
+        operands = ", ".join(gate.inputs)
+        cell_name = "BUFF" if gate.cell.name == "BUF" else gate.cell.name
+        lines.append(f"{gate.output} = {cell_name}({operands})")
+    return "\n".join(lines) + "\n"
+
+
+C17_BENCH = """
+# c17 -- the smallest ISCAS-85 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+
+def c17() -> Netlist:
+    """The ISCAS-85 c17 benchmark circuit (6 NAND gates)."""
+    return read_bench(C17_BENCH, name="c17")

@@ -1,0 +1,201 @@
+"""Gate-level netlists: the IP providers' undisclosed implementations.
+
+A :class:`Netlist` is a combinational network of standard cells over
+named nets.  Netlists are what the IP-protection machinery guards: the
+restricted RMI marshaller refuses to serialize them, so they can never
+leave a provider's server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import DesignError
+from .cells import CellType, cell as lookup_cell
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One cell instance: ``output = cell(inputs...)`` over net names."""
+
+    name: str
+    cell: CellType
+    inputs: Tuple[str, ...]
+    output: str
+
+    def __post_init__(self) -> None:
+        if not self.cell.check_arity(len(self.inputs)):
+            raise DesignError(
+                f"gate {self.name!r}: cell {self.cell.name} does not accept "
+                f"{len(self.inputs)} inputs")
+
+
+class Netlist:
+    """A combinational gate-level network.
+
+    Nets are identified by string names; primary inputs and outputs are
+    declared explicitly.  The netlist validates single-driver and
+    acyclicity invariants and exposes a topological gate order for
+    levelized evaluation.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._inputs: List[str] = []
+        self._outputs: List[str] = []
+        self._gates: List[Gate] = []
+        self._driver: Dict[str, Gate] = {}
+        self._levelized: Optional[List[Gate]] = None
+
+    # -- construction -------------------------------------------------------
+
+    def add_input(self, net: str) -> str:
+        """Declare a primary input net."""
+        if net in self._inputs:
+            raise DesignError(f"duplicate primary input {net!r}")
+        if net in self._driver:
+            raise DesignError(f"net {net!r} is already gate-driven")
+        self._inputs.append(net)
+        return net
+
+    def add_output(self, net: str) -> str:
+        """Declare a primary output net (must eventually be driven)."""
+        if net in self._outputs:
+            raise DesignError(f"duplicate primary output {net!r}")
+        self._outputs.append(net)
+        return net
+
+    def add_gate(self, cell_name: str, inputs: Sequence[str], output: str,
+                 name: Optional[str] = None) -> Gate:
+        """Instantiate a gate driving ``output`` from ``inputs``."""
+        if output in self._driver:
+            raise DesignError(f"net {output!r} has two drivers")
+        if output in self._inputs:
+            raise DesignError(f"primary input {output!r} cannot be driven")
+        gate = Gate(name or f"g{len(self._gates)}_{output}",
+                    lookup_cell(cell_name), tuple(inputs), output)
+        self._gates.append(gate)
+        self._driver[output] = gate
+        self._levelized = None
+        return gate
+
+    # -- access -----------------------------------------------------------
+
+    @property
+    def inputs(self) -> Tuple[str, ...]:
+        """Primary input net names, in declaration order."""
+        return tuple(self._inputs)
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        """Primary output net names, in declaration order."""
+        return tuple(self._outputs)
+
+    @property
+    def gates(self) -> Tuple[Gate, ...]:
+        """All gates, in instantiation order."""
+        return tuple(self._gates)
+
+    def driver_of(self, net: str) -> Optional[Gate]:
+        """The gate driving a net, or None for primary inputs."""
+        return self._driver.get(net)
+
+    def nets(self) -> Tuple[str, ...]:
+        """Every net name: inputs first, then gate outputs."""
+        seen: List[str] = list(self._inputs)
+        seen_set: Set[str] = set(self._inputs)
+        for gate in self._gates:
+            if gate.output not in seen_set:
+                seen.append(gate.output)
+                seen_set.add(gate.output)
+        return tuple(seen)
+
+    def internal_nets(self) -> Tuple[str, ...]:
+        """Gate-driven nets that are not primary outputs."""
+        outs = set(self._outputs)
+        return tuple(g.output for g in self._gates if g.output not in outs)
+
+    def fanout_of(self, net: str) -> Tuple[Tuple[Gate, int], ...]:
+        """All (gate, pin index) pairs reading a net."""
+        readers: List[Tuple[Gate, int]] = []
+        for gate in self._gates:
+            for pin, source in enumerate(gate.inputs):
+                if source == net:
+                    readers.append((gate, pin))
+        return tuple(readers)
+
+    # -- validation & levelization --------------------------------------------
+
+    def validate(self) -> None:
+        """Check single drivers, driven outputs/pins and acyclicity."""
+        known = set(self._inputs) | set(self._driver)
+        for gate in self._gates:
+            for source in gate.inputs:
+                if source not in known:
+                    raise DesignError(
+                        f"gate {gate.name!r} reads undriven net {source!r}")
+        for net in self._outputs:
+            if net not in known:
+                raise DesignError(f"primary output {net!r} is undriven")
+        self.levelize()  # raises on cycles
+
+    def levelize(self) -> Tuple[Gate, ...]:
+        """Topologically ordered gates; raises on combinational loops."""
+        if self._levelized is not None:
+            return tuple(self._levelized)
+        order: List[Gate] = []
+        level: Dict[str, int] = {net: 0 for net in self._inputs}
+        remaining = list(self._gates)
+        while remaining:
+            progressed = False
+            still: List[Gate] = []
+            for gate in remaining:
+                if all(source in level for source in gate.inputs):
+                    level[gate.output] = 1 + max(
+                        (level[s] for s in gate.inputs), default=0)
+                    order.append(gate)
+                    progressed = True
+                else:
+                    still.append(gate)
+            if not progressed:
+                names = ", ".join(g.name for g in still[:5])
+                raise DesignError(
+                    f"netlist {self.name!r} has a combinational loop or "
+                    f"undriven nets involving: {names}")
+            remaining = still
+        self._levelized = order
+        return tuple(order)
+
+    # -- physical summary ---------------------------------------------------
+
+    def area(self) -> float:
+        """Total cell area, equivalent gates."""
+        return sum(gate.cell.area for gate in self._gates)
+
+    def depth(self) -> int:
+        """Logic depth in gate levels."""
+        self.levelize()
+        level: Dict[str, int] = {net: 0 for net in self._inputs}
+        for gate in self._levelized or []:
+            level[gate.output] = 1 + max(
+                (level[s] for s in gate.inputs), default=0)
+        return max((level.get(net, 0) for net in self._outputs), default=0)
+
+    def critical_path_delay(self) -> float:
+        """Worst-case input-to-output delay, ns."""
+        self.levelize()
+        arrival: Dict[str, float] = {net: 0.0 for net in self._inputs}
+        for gate in self._levelized or []:
+            arrival[gate.output] = gate.cell.delay + max(
+                (arrival[s] for s in gate.inputs), default=0.0)
+        return max((arrival.get(net, 0.0) for net in self._outputs),
+                   default=0.0)
+
+    def gate_count(self) -> int:
+        """Number of gate instances."""
+        return len(self._gates)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Netlist({self.name!r}, {len(self._gates)} gates, "
+                f"{len(self._inputs)} in, {len(self._outputs)} out)")

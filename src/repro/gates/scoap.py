@@ -1,0 +1,162 @@
+"""SCOAP testability analysis (controllability / observability).
+
+The paper's central testability observation is that "a component's
+testability depends on both its inputs' controllability and its
+outputs' observability in the design", and that providers should ship
+precharacterized static estimates.  SCOAP (Goldstein 1979) is the
+classic static measure of exactly those quantities:
+
+* ``CC0(n)`` / ``CC1(n)`` -- the combinational difficulty (>= 1) of
+  setting net ``n`` to 0 / 1 from the primary inputs;
+* ``CO(n)`` -- the difficulty of propagating a change on ``n`` to a
+  primary output.
+
+A provider can publish its component's boundary SCOAP numbers as a
+static testability estimate without revealing structure, and a user
+can compose them with the surrounding design's numbers -- the
+data-sheet-grade precursor to the dynamic detection-table protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.errors import DesignError
+from .netlist import Gate, Netlist
+
+INFINITY = 10 ** 9
+"""Sentinel for unreachable values (redundant logic)."""
+
+
+@dataclass(frozen=True)
+class ScoapNumbers:
+    """The three SCOAP measures of one net."""
+
+    cc0: int
+    cc1: int
+    co: int
+
+    @property
+    def testability_0(self) -> int:
+        """Effort to detect stuck-at-1 on the net (set 0, observe)."""
+        return self.cc0 + self.co
+
+    @property
+    def testability_1(self) -> int:
+        """Effort to detect stuck-at-0 on the net (set 1, observe)."""
+        return self.cc1 + self.co
+
+
+class ScoapAnalysis:
+    """Computes SCOAP numbers for every net of a combinational netlist."""
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self._cc: Dict[str, Tuple[int, int]] = {}
+        self._co: Dict[str, int] = {}
+        self._forward()
+        self._backward()
+
+    # ------------------------------------------------------------------
+
+    def numbers(self, net: str) -> ScoapNumbers:
+        """The SCOAP triple of one net."""
+        try:
+            cc0, cc1 = self._cc[net]
+        except KeyError:
+            raise DesignError(f"unknown net {net!r}") from None
+        return ScoapNumbers(cc0, cc1, self._co.get(net, INFINITY))
+
+    def hardest_fault(self) -> Tuple[str, int]:
+        """(net, effort) of the hardest single stuck-at fault."""
+        worst_net, worst = "", -1
+        for net in self.netlist.nets():
+            numbers = self.numbers(net)
+            effort = max(numbers.testability_0, numbers.testability_1)
+            if effort > worst:
+                worst_net, worst = net, effort
+        return worst_net, worst
+
+    def boundary_summary(self) -> Dict[str, Dict[str, int]]:
+        """Port-level SCOAP numbers: the publishable static estimate."""
+        summary: Dict[str, Dict[str, int]] = {}
+        for net in self.netlist.inputs + self.netlist.outputs:
+            numbers = self.numbers(net)
+            summary[net] = {"cc0": numbers.cc0, "cc1": numbers.cc1,
+                            "co": numbers.co}
+        return summary
+
+    # ------------------------------------------------------------------
+    # Forward pass: controllability
+    # ------------------------------------------------------------------
+
+    def _forward(self) -> None:
+        for net in self.netlist.inputs:
+            self._cc[net] = (1, 1)
+        for gate in self.netlist.levelize():
+            self._cc[gate.output] = self._gate_controllability(gate)
+
+    def _gate_controllability(self, gate: Gate) -> Tuple[int, int]:
+        inputs = [self._cc[source] for source in gate.inputs]
+        cell = gate.cell.name
+        if cell == "BUF":
+            cc0, cc1 = inputs[0]
+            return cc0 + 1, cc1 + 1
+        if cell == "NOT":
+            cc0, cc1 = inputs[0]
+            return cc1 + 1, cc0 + 1
+        if cell in ("AND", "NAND"):
+            zero = min(cc0 for cc0, _cc1 in inputs) + 1
+            one = sum(cc1 for _cc0, cc1 in inputs) + 1
+            return (one, zero) if cell == "NAND" else (zero, one)
+        if cell in ("OR", "NOR"):
+            one = min(cc1 for _cc0, cc1 in inputs) + 1
+            zero = sum(cc0 for cc0, _cc1 in inputs) + 1
+            return (one, zero) if cell == "NOR" else (zero, one)
+        if cell in ("XOR", "XNOR"):
+            # Cost of each parity over the inputs: cheapest assignment
+            # achieving even (for 0) or odd (for 1) parity of ones.
+            even, odd = 0, INFINITY
+            for cc0, cc1 in inputs:
+                new_even = min(even + cc0, odd + cc1)
+                new_odd = min(even + cc1, odd + cc0)
+                even, odd = new_even, new_odd
+            zero, one = even + 1, odd + 1
+            return (one, zero) if cell == "XNOR" else (zero, one)
+        raise DesignError(f"no SCOAP rule for cell {cell!r}")
+
+    # ------------------------------------------------------------------
+    # Backward pass: observability
+    # ------------------------------------------------------------------
+
+    def _backward(self) -> None:
+        for net in self.netlist.nets():
+            self._co[net] = INFINITY
+        for net in self.netlist.outputs:
+            self._co[net] = 0
+        for gate in reversed(self.netlist.levelize()):
+            out_co = self._co[gate.output]
+            if out_co >= INFINITY:
+                continue
+            for pin, source in enumerate(gate.inputs):
+                candidate = out_co + self._pin_sensitization(gate, pin)
+                if candidate < self._co[source]:
+                    self._co[source] = candidate
+
+    def _pin_sensitization(self, gate: Gate, pin: int) -> int:
+        """Cost of making the other pins non-controlling, plus one."""
+        cell = gate.cell.name
+        others = [self._cc[source]
+                  for index, source in enumerate(gate.inputs)
+                  if index != pin]
+        if cell in ("BUF", "NOT"):
+            return 1
+        if cell in ("AND", "NAND"):
+            return sum(cc1 for _cc0, cc1 in others) + 1
+        if cell in ("OR", "NOR"):
+            return sum(cc0 for cc0, _cc1 in others) + 1
+        if cell in ("XOR", "XNOR"):
+            # Any fixed values sensitize; pay the cheaper per pin.
+            return sum(min(cc0, cc1) for cc0, cc1 in others) + 1
+        raise DesignError(f"no SCOAP rule for cell {cell!r}")

@@ -1,0 +1,28 @@
+"""IP component packaging: providers, public parts, billing, buffering."""
+
+from .billing import BillingAccount, LedgerEntry
+from .buffering import BufferedRemoteEstimation, PatternBuffer
+from .catalog import EstimatorOffer, Negotiation
+from .license import ComponentLicense, LicenseServant, purchase_component
+from .negotiation import (InteractiveNegotiation, NegotiationOutcome,
+                          NegotiationServant)
+from .component import (MultFastLowPower, ProviderConnection,
+                        RemoteGateLevelPowerEstimator)
+from .provider import (CatalogServant, FunctionalServant, IPProvider,
+                       PowerServant, TimingServant)
+from .testvault import TestSequenceVault, buy_test_sequence
+from .watermark import embed_watermark, verify_watermark
+
+__all__ = [
+    "BillingAccount", "LedgerEntry",
+    "BufferedRemoteEstimation", "PatternBuffer",
+    "EstimatorOffer", "Negotiation",
+    "ComponentLicense", "LicenseServant", "purchase_component",
+    "InteractiveNegotiation", "NegotiationOutcome", "NegotiationServant",
+    "MultFastLowPower", "ProviderConnection",
+    "RemoteGateLevelPowerEstimator",
+    "CatalogServant", "FunctionalServant", "IPProvider", "PowerServant",
+    "TimingServant",
+    "TestSequenceVault", "buy_test_sequence",
+    "embed_watermark", "verify_watermark",
+]

@@ -1,0 +1,85 @@
+"""Estimator negotiation: choosing models before simulation setup.
+
+During simulation setup the user and the providers negotiate the type
+of functional and cost models available for each component; some
+estimators require the provider's online intervention at an additional
+cost.  :class:`Negotiation` is the client-side helper that turns a
+downloaded estimator catalog into a concrete choice under user
+constraints (maximum fee, maximum error, locality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.errors import EstimationError
+from .component import ProviderConnection
+
+
+@dataclass(frozen=True)
+class EstimatorOffer:
+    """One row of a provider's estimator catalog (Table 1 shaped)."""
+
+    type: str
+    avg_error_pct: float
+    rms_error_pct: float
+    cost_cents_per_pattern: float
+    cpu_s_per_pattern: float
+    remote: bool
+    unpredictable_time: bool
+
+    @staticmethod
+    def from_wire(entry: dict) -> "EstimatorOffer":
+        """Build an offer from a data-sheet dictionary entry."""
+        return EstimatorOffer(
+            type=entry["type"],
+            avg_error_pct=entry["avg_error_pct"],
+            rms_error_pct=entry["rms_error_pct"],
+            cost_cents_per_pattern=entry["cost_cents_per_pattern"],
+            cpu_s_per_pattern=entry["cpu_s_per_pattern"],
+            remote=entry["remote"],
+            unpredictable_time=entry["unpredictable_time"])
+
+
+class Negotiation:
+    """Negotiate an estimator choice for one component."""
+
+    def __init__(self, connection: ProviderConnection, component: str):
+        self.connection = connection
+        self.component = component
+        self.datasheet = connection.describe(component)
+
+    def offers(self) -> List[EstimatorOffer]:
+        """All estimator offers in the component's catalog."""
+        return [EstimatorOffer.from_wire(entry)
+                for entry in self.datasheet.get("estimators", [])]
+
+    def select(self, max_cost: Optional[float] = None,
+               max_error: Optional[float] = None,
+               local_only: bool = False) -> EstimatorOffer:
+        """Pick the most accurate offer meeting every constraint.
+
+        Raises :class:`~repro.core.errors.EstimationError` when the
+        constraints rule out every offer -- the caller should then relax
+        a constraint or fall back to the null estimator.
+        """
+        eligible = [
+            offer for offer in self.offers()
+            if (max_cost is None
+                or offer.cost_cents_per_pattern <= max_cost)
+            and (max_error is None or offer.avg_error_pct <= max_error)
+            and (not local_only or not offer.remote)
+        ]
+        if not eligible:
+            raise EstimationError(
+                f"no estimator of {self.component!r} satisfies the "
+                f"negotiation constraints (max_cost={max_cost}, "
+                f"max_error={max_error}, local_only={local_only})")
+        return min(eligible, key=lambda offer: (offer.avg_error_pct,
+                                                offer.cost_cents_per_pattern))
+
+    def estimated_session_fee(self, offer: EstimatorOffer,
+                              patterns: int) -> float:
+        """Projected fee (cents) for simulating ``patterns`` patterns."""
+        return offer.cost_cents_per_pattern * patterns

@@ -1,0 +1,176 @@
+"""Purchase and licensing: the evaluation-to-purchase transition.
+
+The paper's abstract promises a "seamless transition between IP
+evaluation and purchase".  Everything up to purchase keeps the
+implementation secret; purchase is the one deliberate disclosure, and
+this module makes it auditable and traceable:
+
+* the provider quotes a price and, on payment, delivers the
+  implementation as ``.bench`` text together with a keyed license;
+* before delivery the netlist is **fingerprinted per buyer** (a
+  buyer-keyed watermark), so a copy that later surfaces in the wild can
+  be attributed to the licensee who leaked it;
+* licenses verify offline against the provider's secret.
+
+The delivered text is a plain string, so it crosses the restricted
+marshaller -- by design: the provider *chose* to sell.  The live
+`Netlist` objects still never marshal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import BillingError, RemoteError
+from ..gates.io import read_bench, write_bench
+from ..gates.netlist import Netlist
+from .watermark import embed_watermark, verify_watermark
+
+
+@dataclass(frozen=True)
+class ComponentLicense:
+    """A verifiable proof of purchase."""
+
+    component: str
+    buyer: str
+    key: str
+
+    def as_wire(self) -> dict:
+        """Plain-dict form for RMI transport."""
+        return {"component": self.component, "buyer": self.buyer,
+                "key": self.key}
+
+    @staticmethod
+    def from_wire(wire: dict) -> "ComponentLicense":
+        """Rebuild from the wire form."""
+        return ComponentLicense(wire["component"], wire["buyer"],
+                                wire["key"])
+
+
+def _license_key(secret: str, component: str, buyer: str) -> str:
+    return hmac.new(secret.encode(),
+                    f"license:{component}:{buyer}".encode(),
+                    hashlib.sha256).hexdigest()
+
+
+def _fingerprint_key(secret: str, component: str, buyer: str) -> str:
+    return hmac.new(secret.encode(),
+                    f"fingerprint:{component}:{buyer}".encode(),
+                    hashlib.sha256).hexdigest()
+
+
+class LicenseServant:
+    """Provider-side purchase desk for one component."""
+
+    REMOTE_METHODS = ("quote", "purchase", "verify")
+    __test__ = False
+
+    def __init__(self, netlist: Netlist, price_cents: float,
+                 provider_secret: str, watermark_bits: int = 6):
+        self.netlist = netlist
+        self.price_cents = price_cents
+        self._secret = provider_secret
+        self.watermark_bits = watermark_bits
+        self._buyers: List[str] = []
+        self._revenue = 0.0
+        self._lock = threading.Lock()
+
+    # -- remote methods -----------------------------------------------------
+
+    def quote(self) -> dict:
+        """The purchase offer: price and public structural summary."""
+        return {
+            "component": self.netlist.name,
+            "price_cents": self.price_cents,
+            "gates": self.netlist.gate_count(),
+            "area": self.netlist.area(),
+            "delay_ns": self.netlist.critical_path_delay(),
+        }
+
+    def purchase(self, buyer: str, payment_cents: float) -> dict:
+        """Deliver the fingerprinted implementation plus a license."""
+        if payment_cents < self.price_cents:
+            raise BillingError(
+                f"component {self.netlist.name!r} costs "
+                f"{self.price_cents:.1f} cents; {payment_cents:.1f} "
+                f"offered")
+        fingerprinted = embed_watermark(
+            self.netlist,
+            key=_fingerprint_key(self._secret, self.netlist.name, buyer),
+            bits=self.watermark_bits)
+        license_ = ComponentLicense(
+            self.netlist.name, buyer,
+            _license_key(self._secret, self.netlist.name, buyer))
+        with self._lock:
+            self._buyers.append(buyer)
+            self._revenue += self.price_cents
+        return {
+            "license": license_.as_wire(),
+            "implementation": write_bench(fingerprinted),
+        }
+
+    def verify(self, license_wire: dict) -> bool:
+        """Check a license key against the provider's secret."""
+        license_ = ComponentLicense.from_wire(license_wire)
+        expected = _license_key(self._secret, license_.component,
+                                license_.buyer)
+        return hmac.compare_digest(expected, license_.key)
+
+    # -- provider-side forensics --------------------------------------------------
+
+    def identify_leak(self, bench_text: str) -> Optional[str]:
+        """Attribute a leaked implementation to the buyer it was sold to.
+
+        Parses the leaked text and tests every sold fingerprint key; a
+        match names the licensee.  Returns None for texts carrying no
+        known fingerprint (e.g. the pristine master, or a clean-room
+        reimplementation).
+        """
+        try:
+            leaked = read_bench(bench_text, name=self.netlist.name)
+        except Exception:  # noqa: BLE001 - malformed leaks prove nothing
+            return None
+        with self._lock:
+            buyers = list(self._buyers)
+        for buyer in buyers:
+            key = _fingerprint_key(self._secret, self.netlist.name,
+                                   buyer)
+            if verify_watermark(leaked, key, bits=self.watermark_bits):
+                return buyer
+        return None
+
+    @property
+    def revenue(self) -> float:
+        """Total cents earned from purchases."""
+        return self._revenue
+
+    @property
+    def buyers(self) -> Tuple[str, ...]:
+        """All licensees, in purchase order."""
+        return tuple(self._buyers)
+
+
+def purchase_component(stub, buyer: str, budget_cents: float
+                       ) -> Tuple[ComponentLicense, Netlist]:
+    """Client-side purchase flow: quote, pay, receive, reconstruct.
+
+    Returns the license and the delivered implementation as a live
+    (buyer-fingerprinted) :class:`Netlist`.  Raises
+    :class:`BillingError` before paying when the quote exceeds the
+    budget.
+    """
+    offer = stub.quote()
+    price = offer["price_cents"]
+    if price > budget_cents:
+        raise BillingError(
+            f"component {offer['component']!r} costs {price:.1f} cents, "
+            f"budget is {budget_cents:.1f}")
+    delivery = stub.purchase(buyer, price)
+    license_ = ComponentLicense.from_wire(delivery["license"])
+    netlist = read_bench(delivery["implementation"],
+                         name=offer["component"])
+    return license_, netlist

@@ -1,0 +1,334 @@
+"""Provider-side servants and the IPProvider publishing workflow.
+
+To make an IP component available, the provider authors the component's
+class and estimators, then *publishes* it: the private parts (netlist,
+accurate simulators) are bound on the provider's JavaCAD server, while
+the public data sheet (static estimates, macro-model coefficients,
+estimator catalog) is exported for the user to download.  The netlist
+itself can never leave: the restricted marshaller rejects it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import IPProtectionError, RemoteError
+from ..estimation.parameter import AVERAGE_POWER
+from ..faults.faultlist import FaultList, build_fault_list
+from ..faults.virtual import TestabilityServant
+from ..gates.generators import array_multiplier
+from ..gates.netlist import Netlist
+from ..net.clock import CostModel
+from ..power.constant import characterize_constant, operands_to_inputs
+from ..power.regression import fit_regression
+from ..power.toggle import (SiliconReference, ToggleCountModel,
+                            calibrate_toggle_model)
+from ..rmi.server import JavaCADServer, current_server_context
+
+
+class PowerServant:
+    """Provider-side accurate power estimation (the PPP stand-in).
+
+    Keeps one toggle-count model per client session (consecutive
+    patterns matter for switched energy) and accumulates batch results
+    so that oneway (non-blocking) buffered calls can be fetched later.
+    With ``enabled=False`` the actual simulator call is skipped -- the
+    Figure 3 configuration, where only RMI overhead remains.
+    """
+
+    REMOTE_METHODS = ("reset", "power_of_pair", "power_buffer",
+                      "mark_pattern", "fetch_results")
+
+    def __init__(self, netlist: Netlist, prefixes: Sequence[str],
+                 widths: Sequence[int],
+                 model_factory: Optional[Callable[[], ToggleCountModel]]
+                 = None,
+                 calibration: float = 1.0, enabled: bool = True,
+                 gate_eval_cost: float = 40e-6):
+        self.netlist = netlist
+        self.prefixes = tuple(prefixes)
+        self.widths = tuple(widths)
+        self.calibration = calibration
+        self.enabled = enabled
+        self.gate_eval_cost = gate_eval_cost
+        self._model_factory = model_factory or \
+            (lambda: ToggleCountModel(netlist))
+        self._models: Dict[str, ToggleCountModel] = {}
+        self._results: Dict[str, List[float]] = {}
+        self._lock = threading.Lock()
+
+    def _model(self, session: str) -> ToggleCountModel:
+        with self._lock:
+            model = self._models.get(session)
+            if model is None:
+                model = self._model_factory()
+                self._models[session] = model
+                self._results[session] = []
+            return model
+
+    def _compute(self, model: ToggleCountModel,
+                 pattern: Sequence[int]) -> float:
+        if not self.enabled:
+            return 0.0
+        before = model.evaluated_gates
+        power = model.power_of_pattern(
+            operands_to_inputs(pattern, self.prefixes, self.widths))
+        context = current_server_context()
+        if context is not None:
+            context.charge(self.gate_eval_cost
+                           * (model.evaluated_gates - before))
+        return power * self.calibration
+
+    # -- remote methods -----------------------------------------------------
+
+    def reset(self, session: str) -> None:
+        """Start a fresh pattern sequence for a session."""
+        with self._lock:
+            self._models.pop(session, None)
+            self._results.pop(session, None)
+
+    def power_of_pair(self, session: str, a: int, b: int) -> float:
+        """Blocking single-pattern estimation (unbuffered)."""
+        return self._compute(self._model(session), (a, b))
+
+    def power_buffer(self, session: str,
+                     patterns: Sequence[Sequence[int]]) -> int:
+        """Batch estimation; results accumulate for fetch_results."""
+        model = self._model(session)
+        results = self._results[session]
+        for pattern in patterns:
+            results.append(self._compute(model, tuple(pattern)))
+        return len(results)
+
+    def mark_pattern(self, session: str, a: int, b: int) -> None:
+        """Single-pattern push with *server-side* buffering.
+
+        Used by fully remote modules (the paper's MR scenario), where
+        the input patterns are buffered remotely: the client marks each
+        pattern with a small call and the provider accumulates and runs
+        the accurate simulation on its side.
+        """
+        model = self._model(session)
+        self._results[session].append(self._compute(model, (a, b)))
+
+    def fetch_results(self, session: str) -> List[float]:
+        """All accumulated per-pattern powers for a session."""
+        self._model(session)
+        return list(self._results[session])
+
+
+class FunctionalServant:
+    """Private part of a fully remote module (the paper's MR scenario).
+
+    The module's event handling runs here: the client pushes every event
+    arriving at the module's ports and receives the resulting output
+    emissions.  Port state is per client session.
+    """
+
+    REMOTE_METHODS = ("handle_event", "reset")
+
+    def __init__(self, width: int, word_op_cost: float = 85e-3):
+        self.width = width
+        self.word_op_cost = word_op_cost
+        self._state: Dict[str, Dict[str, int]] = {}
+        self._lock = threading.Lock()
+
+    def reset(self, session: str) -> None:
+        """Drop a session's port state."""
+        with self._lock:
+            self._state.pop(session, None)
+
+    def handle_event(self, session: str, port: str,
+                     value: int) -> List[Tuple[str, int]]:
+        """Process one input event; return the output emissions."""
+        if port not in ("a", "b"):
+            raise RemoteError(f"multiplier has no input port {port!r}")
+        with self._lock:
+            state = self._state.setdefault(session, {})
+            state[port] = value
+            a, b = state.get("a"), state.get("b")
+        context = current_server_context()
+        if context is not None:
+            context.charge(self.word_op_cost)
+        if a is None or b is None:
+            return []
+        return [("o", (a * b) & ((1 << (2 * self.width)) - 1))]
+
+
+class TimingServant:
+    """Accurate output timing: needs the gate-level structure, so it can
+    only run on the provider's server (the paper's Figure 2 example of a
+    method that must be remote)."""
+
+    REMOTE_METHODS = ("output_timing",)
+
+    def __init__(self, netlist: Netlist, path_cost: float = 5e-3):
+        self.netlist = netlist
+        self.path_cost = path_cost
+
+    def output_timing(self) -> float:
+        """Worst-case propagation delay in ns."""
+        context = current_server_context()
+        if context is not None:
+            context.charge(self.path_cost)
+        return self.netlist.critical_path_delay()
+
+
+class CatalogServant:
+    """Provider-level catalog: component data sheets, estimator listings."""
+
+    REMOTE_METHODS = ("list_components", "describe")
+
+    def __init__(self) -> None:
+        self._datasheets: Dict[str, dict] = {}
+
+    def add(self, name: str, datasheet: dict) -> None:
+        """Register a component's public data sheet."""
+        self._datasheets[name] = datasheet
+
+    def list_components(self) -> List[str]:
+        """Names of all published components."""
+        return sorted(self._datasheets)
+
+    def describe(self, name: str) -> dict:
+        """The public data sheet for one component."""
+        try:
+            return dict(self._datasheets[name])
+        except KeyError:
+            raise RemoteError(f"no component named {name!r}") from None
+
+
+class IPProvider:
+    """An IP vendor: authors components and publishes them on a server."""
+
+    def __init__(self, host_name: str = "provider.host.name",
+                 cost_model: Optional[CostModel] = None, seed: int = 2099):
+        self.server = JavaCADServer(host_name, cost_model=cost_model)
+        self.seed = seed
+        self.catalog = CatalogServant()
+        self.server.bind("catalog", self.catalog,
+                         CatalogServant.REMOTE_METHODS)
+        self._netlists: Dict[str, Netlist] = {}
+
+    # ------------------------------------------------------------------
+
+    def publish_multiplier(self, width: int,
+                           name: str = "MultFastLowPower",
+                           training_patterns: int = 300,
+                           power_enabled: bool = True,
+                           power_server_cost: float = 0.0,
+                           fault_collapse: str = "equivalence",
+                           obfuscate_faults: bool = False) -> str:
+        """Author and publish the Figure 2 multiplier IP component.
+
+        Builds the secret gate-level implementation, characterizes the
+        three Table 1 power estimators against the provider's silicon
+        reference, and binds the private servants (power, functionality,
+        timing, testability) on the server.  Returns the component name.
+        """
+        import random
+        netlist = array_multiplier(width, name=f"{name}-impl")
+        self._netlists[name] = netlist
+        prefixes, widths = ("a", "b"), (width, width)
+
+        # Provider-side characterization against measured silicon.
+        silicon = SiliconReference(netlist, seed=self.seed)
+        rng = random.Random(self.seed)
+        training = [(rng.getrandbits(width), rng.getrandbits(width))
+                    for _ in range(training_patterns)]
+        constant = characterize_constant(silicon, training, prefixes,
+                                         widths)
+        silicon = SiliconReference(netlist, seed=self.seed)
+        regression = fit_regression(silicon, training, prefixes, widths)
+        toggle = ToggleCountModel(netlist)
+        silicon = SiliconReference(netlist, seed=self.seed)
+        calibration = calibrate_toggle_model(
+            toggle, silicon,
+            [operands_to_inputs(p, prefixes, widths) for p in training])
+
+        from ..gates.scoap import ScoapAnalysis
+        scoap = ScoapAnalysis(netlist)
+        datasheet = {
+            "component": name,
+            "width": width,
+            "area": netlist.area(),
+            "delay_ns": netlist.critical_path_delay(),
+            # Static testability estimate: boundary SCOAP numbers (the
+            # paper's precharacterized open-specification data), which
+            # disclose difficulty, not structure.
+            "scoap_boundary": scoap.boundary_summary(),
+            "scoap_hardest_effort": scoap.hardest_fault()[1],
+            "power_constant_mw": constant._value,
+            "power_constant_error": 25.0,
+            "linreg_intercept": regression.intercept,
+            "linreg_slope": regression.slope,
+            "linreg_error": 20.0,
+            "gate_level_error": 10.0,
+            "gate_level_cost_cents": 0.1,
+            "estimators": [
+                {"type": "constant", "avg_error_pct": 25.0,
+                 "rms_error_pct": 90.0, "cost_cents_per_pattern": 0.0,
+                 "cpu_s_per_pattern": 0.0, "remote": False,
+                 "unpredictable_time": False},
+                {"type": "linear-regression", "avg_error_pct": 20.0,
+                 "rms_error_pct": 50.0, "cost_cents_per_pattern": 0.0,
+                 "cpu_s_per_pattern": 1.0, "remote": False,
+                 "unpredictable_time": False},
+                {"type": "gate-level-toggle", "avg_error_pct": 10.0,
+                 "rms_error_pct": 20.0, "cost_cents_per_pattern": 0.1,
+                 "cpu_s_per_pattern": 100.0, "remote": True,
+                 "unpredictable_time": True},
+            ],
+        }
+        self.catalog.add(name, datasheet)
+
+        # The paper's Table 2 excludes the time spent in the actual PPP
+        # estimations (it is constant across scenarios), so the default
+        # provider-side power compute carries no virtual cost.
+        power = PowerServant(netlist, prefixes, widths,
+                             model_factory=lambda: ToggleCountModel(netlist),
+                             calibration=calibration,
+                             enabled=power_enabled,
+                             gate_eval_cost=power_server_cost)
+        self.server.bind(f"{name}.power", power, PowerServant.REMOTE_METHODS)
+        self.server.bind(f"{name}.module", FunctionalServant(width),
+                         FunctionalServant.REMOTE_METHODS)
+        self.server.bind(f"{name}.timing", TimingServant(netlist),
+                         TimingServant.REMOTE_METHODS)
+        fault_list = build_fault_list(netlist, collapse=fault_collapse,
+                                      obfuscate=obfuscate_faults)
+        self.server.bind(f"{name}.test", TestabilityServant(netlist,
+                                                            fault_list),
+                         TestabilityServant.REMOTE_METHODS)
+        return name
+
+    def publish_netlist_component(self, netlist: Netlist, name: str,
+                                  prefixes: Sequence[str],
+                                  widths: Sequence[int],
+                                  fault_collapse: str = "none",
+                                  obfuscate_faults: bool = False) -> str:
+        """Publish an arbitrary gate-level component (testability only)."""
+        self._netlists[name] = netlist
+        fault_list = build_fault_list(netlist, collapse=fault_collapse,
+                                      obfuscate=obfuscate_faults)
+        self.server.bind(f"{name}.test",
+                         TestabilityServant(netlist, fault_list),
+                         TestabilityServant.REMOTE_METHODS)
+        self.catalog.add(name, {
+            "component": name,
+            "area": netlist.area(),
+            "delay_ns": netlist.critical_path_delay(),
+        })
+        return name
+
+    def private_netlist(self, name: str) -> Netlist:
+        """Provider-internal access to a published implementation.
+
+        Raises :class:`IPProtectionError` if called through RMI -- this
+        accessor exists for the provider's own tooling and tests only.
+        """
+        if current_server_context() is not None:
+            raise IPProtectionError(
+                "netlists are never served over the RMI channel")
+        return self._netlists[name]

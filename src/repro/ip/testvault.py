@@ -1,0 +1,100 @@
+"""Protected test sequences: selling tests without giving away the IP.
+
+"A good test sequence is IP that might need protection."  A provider
+that invested in ATPG for its component can monetize the result: the
+:class:`TestSequenceVault` holds generated test sets and releases them
+only against payment, through ordinary RMI calls carrying nothing but
+port-level patterns and coverage figures.  A free *preview* discloses
+the achievable coverage (so users can make purchase decisions) without
+disclosing a single pattern.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import BillingError, RemoteError
+from ..core.signal import Logic
+from ..faults.atpg import TestSet, generate_test_set
+from ..faults.faultlist import FaultList, build_fault_list
+from ..gates.netlist import Netlist
+
+
+class TestSequenceVault:
+    """Provider-side vault of generated, priced test sequences."""
+
+    REMOTE_METHODS = ("preview", "purchase", "revenue")
+    __test__ = False  # not a pytest test class despite the name
+
+    def __init__(self, netlist: Netlist,
+                 fault_list: Optional[FaultList] = None,
+                 price_per_pattern: float = 2.0,
+                 random_patterns: int = 32, seed: int = 0):
+        self.netlist = netlist
+        self.price_per_pattern = price_per_pattern
+        fault_list = fault_list or build_fault_list(netlist)
+        self._test_set: TestSet = generate_test_set(
+            netlist, fault_list, random_patterns=random_patterns,
+            seed=seed)
+        self._revenue = 0.0
+        self._lock = threading.Lock()
+        self._buyers: List[str] = []
+
+    # -- remote methods -----------------------------------------------------
+
+    def preview(self) -> dict:
+        """Free: the sequence's value proposition, zero patterns."""
+        test_set = self._test_set
+        return {
+            "patterns": len(test_set.patterns),
+            "coverage": test_set.coverage,
+            "testable_coverage": test_set.testable_coverage,
+            "untestable_faults": len(test_set.untestable),
+            "price_cents": self.total_price(),
+        }
+
+    def purchase(self, buyer: str,
+                 payment_cents: float) -> List[Dict[str, Logic]]:
+        """Release the patterns against full payment."""
+        price = self.total_price()
+        if payment_cents < price:
+            raise BillingError(
+                f"test sequence costs {price:.1f} cents; "
+                f"{payment_cents:.1f} offered")
+        with self._lock:
+            self._revenue += price
+            self._buyers.append(buyer)
+        return [dict(pattern) for pattern in self._test_set.patterns]
+
+    def revenue(self) -> float:
+        """Total cents earned so far (provider bookkeeping)."""
+        return self._revenue
+
+    # -- provider-side helpers --------------------------------------------------
+
+    def total_price(self) -> float:
+        """Price of the whole sequence, cents."""
+        return self.price_per_pattern * len(self._test_set.patterns)
+
+    @property
+    def buyers(self) -> Tuple[str, ...]:
+        """Who bought the sequence (provider-side only)."""
+        return tuple(self._buyers)
+
+
+def buy_test_sequence(stub, buyer: str, budget: float
+                      ) -> List[Dict[str, Logic]]:
+    """Client-side purchase flow: preview, check budget, buy.
+
+    Raises :class:`BillingError` without spending anything when the
+    preview price exceeds the budget.
+    """
+    offer = stub.preview()
+    price = offer["price_cents"]
+    if price > budget:
+        raise BillingError(
+            f"test sequence costs {price:.1f} cents, budget is "
+            f"{budget:.1f} (coverage on offer: "
+            f"{offer['coverage']:.1%})")
+    return stub.purchase(buyer, price)

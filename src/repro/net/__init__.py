@@ -1,0 +1,7 @@
+"""Virtual time and simulated network substrate."""
+
+from .clock import CostModel, VirtualClock
+from .model import LAN, LOCALHOST, PRESETS, WAN, NetworkModel
+
+__all__ = ["CostModel", "VirtualClock", "LAN", "LOCALHOST", "PRESETS",
+           "WAN", "NetworkModel"]

@@ -1,0 +1,21 @@
+"""Power estimation: activity statistics and the Table 1 estimators."""
+
+from .activity import (activity_profile, hamming, pair_activity,
+                       sequence_activity, word_activity)
+from .constant import (ConstantPowerEstimator, characterize_constant,
+                       operands_to_inputs)
+from .montecarlo import MonteCarloResult, monte_carlo_power
+from .peak import IOActivityEstimator, PeakPowerEstimator
+from .regression import LinearRegressionPowerEstimator, fit_regression
+from .toggle import (SiliconReference, ToggleCountModel,
+                     calibrate_toggle_model)
+
+__all__ = [
+    "MonteCarloResult", "monte_carlo_power",
+    "activity_profile", "hamming", "pair_activity", "sequence_activity",
+    "word_activity",
+    "ConstantPowerEstimator", "characterize_constant", "operands_to_inputs",
+    "IOActivityEstimator", "PeakPowerEstimator",
+    "LinearRegressionPowerEstimator", "fit_regression",
+    "SiliconReference", "ToggleCountModel", "calibrate_toggle_model",
+]

@@ -1,0 +1,63 @@
+"""Switching-activity statistics over pattern sequences.
+
+The linear-regression power macro-model predicts power from the input
+switching activity (Hamming distance between consecutive patterns);
+these helpers compute that activity at the word and sequence level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..core.signal import Word
+
+
+def hamming(previous: int, current: int) -> int:
+    """Number of differing bits between two unsigned integers."""
+    return bin(previous ^ current).count("1")
+
+
+def pair_activity(previous: Sequence[int], current: Sequence[int]) -> int:
+    """Total bit flips across corresponding operand pairs."""
+    if len(previous) != len(current):
+        raise ValueError("operand tuples must have equal length")
+    return sum(hamming(p, c) for p, c in zip(previous, current))
+
+
+def sequence_activity(patterns: Sequence[Sequence[int]]) -> List[int]:
+    """Per-transition activity of a pattern sequence.
+
+    ``patterns`` is a sequence of operand tuples; entry ``i`` of the
+    result is the activity of the transition from pattern ``i-1`` to
+    pattern ``i`` (the first entry counts flips from all-zero).
+    """
+    activities: List[int] = []
+    previous: Sequence[int] = tuple(0 for _ in patterns[0]) if patterns \
+        else ()
+    for pattern in patterns:
+        activities.append(pair_activity(previous, pattern))
+        previous = pattern
+    return activities
+
+
+def word_activity(previous: Word, current: Word) -> int:
+    """Bit flips between two words (unknown words contribute zero)."""
+    if not (previous.known and current.known):
+        return 0
+    return hamming(previous.value,
+                   current.resize(previous.width).value)
+
+
+def activity_profile(patterns: Sequence[Sequence[int]],
+                     widths: Sequence[int]) -> Dict[str, float]:
+    """Summary statistics of a stimulus sequence's switching activity."""
+    activities = sequence_activity(patterns)
+    total_bits = sum(widths)
+    if not activities:
+        return {"mean": 0.0, "peak": 0.0, "density": 0.0}
+    mean = sum(activities) / len(activities)
+    return {
+        "mean": mean,
+        "peak": float(max(activities)),
+        "density": mean / total_bits if total_bits else 0.0,
+    }

@@ -1,0 +1,83 @@
+"""Peak-power and I/O-activity estimators.
+
+Rounds out the paper's list of parameters ("area, propagation delay,
+average power, peak power, I/O activity, and so on") with running
+estimators for the last two:
+
+* :class:`IOActivityEstimator` -- counts bit flips at a module's own
+  ports per simulation instant; purely local and structure-free, so any
+  module can carry it.
+* :class:`PeakPowerEstimator` -- tracks the worst per-pattern power seen
+  so far, wrapping any per-pattern average-power estimator.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
+
+from ..core.module import ModuleSkeleton
+from ..core.signal import SignalValue, toggles
+from ..estimation.estimator import EstimatorSkeleton
+from ..estimation.parameter import IO_ACTIVITY, PEAK_POWER
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.controller import SimulationContext
+
+
+class IOActivityEstimator(EstimatorSkeleton):
+    """Bit flips at the module's ports since the previous instant.
+
+    Needs only information available at the module's own ports, so it
+    never conflicts with IP protection on either side.
+    """
+
+    def __init__(self, ports: Optional[Sequence[str]] = None,
+                 name: str = "io-activity", cumulative: bool = False):
+        super().__init__(IO_ACTIVITY.name, name, expected_error=0.0,
+                         cost=0.0, cpu_time=0.0, units="toggles")
+        self.ports = tuple(ports) if ports is not None else None
+        self.cumulative = cumulative
+
+    def estimation(self, module: ModuleSkeleton,
+                   ctx: "SimulationContext") -> float:
+        state = module.state(ctx)
+        previous: Dict[str, SignalValue] = state.setdefault(
+            "_io_prev", {})
+        total_key = "_io_total"
+        port_names = self.ports if self.ports is not None else \
+            [port.name for port in module.ports if port.is_connected]
+        flips = 0
+        for port_name in port_names:
+            value = module.read(port_name, ctx)
+            last = previous.get(port_name)
+            if last is not None:
+                flips += toggles(last, value)
+            previous[port_name] = value
+        state[total_key] = state.get(total_key, 0) + flips
+        return float(state[total_key] if self.cumulative else flips)
+
+
+class PeakPowerEstimator(EstimatorSkeleton):
+    """Running maximum of a wrapped per-pattern power estimator."""
+
+    def __init__(self, inner: EstimatorSkeleton,
+                 name: Optional[str] = None):
+        super().__init__(PEAK_POWER.name, name or f"peak({inner.name})",
+                         expected_error=inner.expected_error,
+                         cost=inner.cost, cpu_time=inner.cpu_time,
+                         units=inner.units)
+        self.inner = inner
+
+    @property
+    def remote(self) -> bool:
+        return self.inner.remote
+
+    def estimation(self, module: ModuleSkeleton,
+                   ctx: "SimulationContext") -> float:
+        value = self.inner.estimate(module, ctx)
+        state = module.state(ctx)
+        if not value.is_null:
+            current = float(value.value)
+            state["_peak_power"] = max(state.get("_peak_power", 0.0),
+                                       current)
+        return state.get("_peak_power", 0.0)

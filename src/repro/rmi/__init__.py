@@ -1,0 +1,20 @@
+"""RMI-like distributed object substrate with restricted marshalling."""
+
+from .marshal import marshal, payload_size, register_value_type, unmarshal
+from .protocol import CallReply, CallRequest
+from .registry import Binding, Registry
+from .security import SecurityPolicy, default_policy_for
+from .server import JavaCADServer, ServerCallContext, current_server_context
+from .stub import RemoteStub
+from .transport import (InProcessTransport, TcpTransport, Transport,
+                        TransportStats)
+
+__all__ = [
+    "marshal", "payload_size", "register_value_type", "unmarshal",
+    "CallReply", "CallRequest",
+    "Binding", "Registry",
+    "SecurityPolicy", "default_policy_for",
+    "JavaCADServer", "ServerCallContext", "current_server_context",
+    "RemoteStub",
+    "InProcessTransport", "TcpTransport", "Transport", "TransportStats",
+]

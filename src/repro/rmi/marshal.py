@@ -1,0 +1,165 @@
+"""Restricted argument marshalling for remote method invocation.
+
+The paper protects the *user's* IP "through careful argument marshalling
+in the RMI method invocation": because a remote IP component only needs
+the information available at its own ports, JavaCAD transmits only that
+information over the RMI channel.  This module enforces the rule
+mechanically: only a whitelist of value types can be serialized.
+Modules, designs, circuits, netlists and arbitrary Python objects are
+rejected with :class:`~repro.core.errors.MarshalError`, so neither party
+can smuggle structure across the boundary -- not even accidentally.
+
+The wire format is tagged JSON encoded as UTF-8, which is portable
+(unlike the precompiled object files of the model-encryption approach
+discussed in the paper's related work) and never executes code on
+deserialization (unlike pickle).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Tuple, Type
+
+from ..core.errors import MarshalError
+from ..core.signal import Logic, Word
+
+_VALUE_CODECS: Dict[str, Tuple[Type, Callable[[Any], Any],
+                               Callable[[Any], Any]]] = {}
+
+
+def register_value_type(tag: str, cls: Type,
+                        to_wire: Callable[[Any], Any],
+                        from_wire: Callable[[Any], Any]) -> None:
+    """Whitelist a value type for marshalling.
+
+    ``to_wire`` must reduce an instance to already-marshallable data;
+    ``from_wire`` rebuilds the instance.  Registering a type is a
+    security decision: only plain value objects (no references to design
+    structure) should ever be registered.
+    """
+    if tag in _VALUE_CODECS and _VALUE_CODECS[tag][0] is not cls:
+        raise MarshalError(f"marshal tag {tag!r} is already registered")
+    _VALUE_CODECS[tag] = (cls, to_wire, from_wire)
+
+
+def _to_wire(obj: Any, depth: int = 0) -> Any:
+    if depth > 32:
+        raise MarshalError("marshalled structure is too deeply nested")
+    # Logic is an IntEnum, so it must be tagged before the plain-int
+    # check or it would silently degrade to a bare integer on the wire.
+    if isinstance(obj, Logic):
+        return {"$t": "logic", "v": int(obj)}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, Word):
+        if obj.known:
+            return {"$t": "word", "v": obj.value, "w": obj.width}
+        return {"$t": "word", "v": None, "w": obj.width}
+    if isinstance(obj, tuple):
+        return {"$t": "tuple", "v": [_to_wire(x, depth + 1) for x in obj]}
+    if isinstance(obj, list):
+        return {"$t": "list", "v": [_to_wire(x, depth + 1) for x in obj]}
+    if isinstance(obj, (set, frozenset)):
+        return {"$t": "set", "v": sorted(
+            (_to_wire(x, depth + 1) for x in obj),
+            key=lambda item: json.dumps(item, sort_keys=True))}
+    if isinstance(obj, dict):
+        items = []
+        for key, value in obj.items():
+            items.append([_to_wire(key, depth + 1),
+                          _to_wire(value, depth + 1)])
+        return {"$t": "dict", "v": items}
+    if isinstance(obj, bytes):
+        return {"$t": "bytes", "v": obj.hex()}
+    # Prefer an exact-type codec so subclasses with their own codec are
+    # not captured by a base-class registration.
+    for tag, (cls, to_wire, _from_wire) in _VALUE_CODECS.items():
+        if type(obj) is cls:
+            return {"$t": f"x:{tag}", "v": _to_wire(to_wire(obj), depth + 1)}
+    for tag, (cls, to_wire, _from_wire) in _VALUE_CODECS.items():
+        if isinstance(obj, cls):
+            return {"$t": f"x:{tag}", "v": _to_wire(to_wire(obj), depth + 1)}
+    raise MarshalError(_refusal_message(obj))
+
+
+def _refusal_message(obj: Any) -> str:
+    # Import lazily to avoid cycles; give IP-protection-specific
+    # diagnostics for the structures the paper explicitly guards.
+    from ..core.design import Circuit, Design
+    from ..core.module import ModuleSkeleton
+    from ..gates.netlist import Gate, Netlist
+
+    protected = {
+        ModuleSkeleton: "design modules",
+        Circuit: "circuits",
+        Design: "designs",
+        Netlist: "gate-level netlists",
+        Gate: "gates",
+    }
+    for cls, what in protected.items():
+        if isinstance(obj, cls):
+            return (f"IP protection: {what} never cross the RMI boundary "
+                    f"(got {type(obj).__name__} {getattr(obj, 'name', '')!r})")
+    return (f"type {type(obj).__name__} is not marshallable; only port-level "
+            f"values may cross the client/server boundary")
+
+
+def _from_wire(data: Any, depth: int = 0) -> Any:
+    if depth > 32:
+        raise MarshalError("marshalled structure is too deeply nested")
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if isinstance(data, list):  # only produced inside tagged containers
+        raise MarshalError("bare JSON list in wire data")
+    if not isinstance(data, dict) or "$t" not in data:
+        raise MarshalError(f"malformed wire data: {data!r}")
+    tag, value = data["$t"], data.get("v")
+    if tag == "logic":
+        return Logic(value)
+    if tag == "word":
+        width = data["w"]
+        if value is None:
+            return Word.unknown(width)
+        return Word(value, width)
+    if tag == "tuple":
+        return tuple(_from_wire(x, depth + 1) for x in value)
+    if tag == "list":
+        return [_from_wire(x, depth + 1) for x in value]
+    if tag == "set":
+        return frozenset(_from_wire(x, depth + 1) for x in value)
+    if tag == "dict":
+        return {_from_wire(k, depth + 1): _from_wire(v, depth + 1)
+                for k, v in value}
+    if tag == "bytes":
+        return bytes.fromhex(value)
+    if tag.startswith("x:"):
+        codec = _VALUE_CODECS.get(tag[2:])
+        if codec is None:
+            raise MarshalError(f"unknown marshal tag {tag!r}")
+        _cls, _to_wire_fn, from_wire_fn = codec
+        return from_wire_fn(_from_wire(value, depth + 1))
+    raise MarshalError(f"unknown marshal tag {tag!r}")
+
+
+def marshal(obj: Any) -> bytes:
+    """Serialize a whitelisted value to wire bytes."""
+    try:
+        return json.dumps(_to_wire(obj), separators=(",", ":")).encode()
+    except MarshalError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise MarshalError(f"cannot marshal {obj!r}: {exc}") from exc
+
+
+def unmarshal(data: bytes) -> Any:
+    """Deserialize wire bytes produced by :func:`marshal`."""
+    try:
+        wire = json.loads(data.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise MarshalError(f"corrupt wire data: {exc}") from exc
+    return _from_wire(wire)
+
+
+def payload_size(obj: Any) -> int:
+    """Wire size in bytes of a marshalled value (for network models)."""
+    return len(marshal(obj))

@@ -1,0 +1,85 @@
+"""Wire protocol messages for the RMI substrate.
+
+Messages are plain value objects that marshal through the restricted
+serializer; the same message types travel over the in-process transport
+(with simulated network timing) and the real TCP transport.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.errors import MarshalError
+from .marshal import marshal, unmarshal
+
+_call_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class CallRequest:
+    """A remote method invocation request."""
+
+    object_name: str
+    method: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    call_id: int = field(default_factory=lambda: next(_call_ids))
+    oneway: bool = False
+
+    def encode(self) -> bytes:
+        """Marshal to wire bytes (rejects non-whitelisted arguments)."""
+        return marshal({
+            "kind": "call",
+            "object": self.object_name,
+            "method": self.method,
+            "args": tuple(self.args),
+            "kwargs": dict(self.kwargs),
+            "id": self.call_id,
+            "oneway": self.oneway,
+        })
+
+    @staticmethod
+    def decode(data: bytes) -> "CallRequest":
+        """Rebuild a request from wire bytes."""
+        wire = unmarshal(data)
+        if not isinstance(wire, dict) or wire.get("kind") != "call":
+            raise MarshalError(f"not a call request: {wire!r}")
+        return CallRequest(
+            object_name=wire["object"],
+            method=wire["method"],
+            args=tuple(wire["args"]),
+            kwargs=dict(wire["kwargs"]),
+            call_id=wire["id"],
+            oneway=wire["oneway"],
+        )
+
+
+@dataclass(frozen=True)
+class CallReply:
+    """The reply to a :class:`CallRequest`."""
+
+    call_id: int
+    ok: bool
+    result: Any = None
+    error: Optional[str] = None
+
+    def encode(self) -> bytes:
+        """Marshal to wire bytes (rejects non-whitelisted results)."""
+        return marshal({
+            "kind": "reply",
+            "id": self.call_id,
+            "ok": self.ok,
+            "result": self.result,
+            "error": self.error,
+        })
+
+    @staticmethod
+    def decode(data: bytes) -> "CallReply":
+        """Rebuild a reply from wire bytes."""
+        wire = unmarshal(data)
+        if not isinstance(wire, dict) or wire.get("kind") != "reply":
+            raise MarshalError(f"not a call reply: {wire!r}")
+        return CallReply(call_id=wire["id"], ok=wire["ok"],
+                         result=wire["result"], error=wire["error"])

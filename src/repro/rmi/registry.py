@@ -1,0 +1,85 @@
+"""Object registry: the naming service of a JavaCAD server.
+
+A binding associates a public name with a servant object *and* the
+explicit set of methods that may be invoked remotely.  The whitelist is
+an IP-protection measure: the provider states which methods are
+remotely available; everything else on the servant (its netlist, its
+characterization data) is unreachable through the RMI channel.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Sequence, Tuple
+
+from ..core.errors import RemoteError
+
+
+@dataclass(frozen=True)
+class Binding:
+    """A registered servant with its remotely callable methods."""
+
+    name: str
+    servant: Any
+    methods: FrozenSet[str]
+
+    def check_method(self, method: str) -> None:
+        """Raise :class:`RemoteError` unless ``method`` is whitelisted."""
+        if method not in self.methods:
+            raise RemoteError(
+                f"object {self.name!r} does not export method {method!r}")
+
+
+class Registry:
+    """A thread-safe name-to-servant table."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[str, Binding] = {}
+        self._lock = threading.Lock()
+
+    def bind(self, name: str, servant: Any,
+             methods: Sequence[str]) -> Binding:
+        """Register a servant; refuses to overwrite an existing name."""
+        binding = self._make_binding(name, servant, methods)
+        with self._lock:
+            if name in self._bindings:
+                raise RemoteError(f"name {name!r} is already bound")
+            self._bindings[name] = binding
+        return binding
+
+    def rebind(self, name: str, servant: Any,
+               methods: Sequence[str]) -> Binding:
+        """Register a servant, replacing any existing binding."""
+        binding = self._make_binding(name, servant, methods)
+        with self._lock:
+            self._bindings[name] = binding
+        return binding
+
+    def _make_binding(self, name: str, servant: Any,
+                      methods: Sequence[str]) -> Binding:
+        for method in methods:
+            if not callable(getattr(servant, method, None)):
+                raise RemoteError(
+                    f"servant for {name!r} has no callable {method!r}")
+        return Binding(name, servant, frozenset(methods))
+
+    def unbind(self, name: str) -> None:
+        """Remove a binding."""
+        with self._lock:
+            if name not in self._bindings:
+                raise RemoteError(f"name {name!r} is not bound")
+            del self._bindings[name]
+
+    def lookup(self, name: str) -> Binding:
+        """Find a binding by name."""
+        with self._lock:
+            try:
+                return self._bindings[name]
+            except KeyError:
+                raise RemoteError(f"name {name!r} is not bound") from None
+
+    def names(self) -> Tuple[str, ...]:
+        """All bound names, sorted."""
+        with self._lock:
+            return tuple(sorted(self._bindings))

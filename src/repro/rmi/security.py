@@ -1,0 +1,82 @@
+"""Security policy for downloaded (non-trusted) IP code.
+
+The paper marks the public and stub classes downloaded from an IP
+provider as non-trusted: they can neither read nor delete files on the
+user's file system, and the standard RMI security manager lets them
+communicate only with the provider's own server (the user may choose to
+relax these requirements).
+
+:class:`SecurityPolicy` models exactly those rules.  Downloaded public
+parts receive a policy object and must route any privileged operation
+through it; the TCP transport additionally enforces the connect-back
+rule on every outgoing connection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from ..core.errors import SecurityViolationError
+
+
+class SecurityPolicy:
+    """Permissions granted to code downloaded from one provider."""
+
+    def __init__(self, provider_host: str,
+                 allow_filesystem: bool = False,
+                 extra_hosts: Optional[Iterable[str]] = None,
+                 trusted: bool = False):
+        self.provider_host = provider_host
+        self.allow_filesystem = allow_filesystem
+        self.trusted = trusted
+        self._allowed_hosts: Set[str] = {provider_host}
+        if extra_hosts:
+            self._allowed_hosts.update(extra_hosts)
+        self.violations: list = []
+
+    # -- checks ------------------------------------------------------------
+
+    def check_connect(self, host: str) -> None:
+        """Allow connections only back to the originating provider."""
+        if self.trusted or host in self._allowed_hosts:
+            return
+        self._violate(f"connect to {host!r} denied; downloaded code may "
+                      f"only reach {sorted(self._allowed_hosts)}")
+
+    def check_file_access(self, path: str, mode: str = "r") -> None:
+        """Deny file-system access to non-trusted code."""
+        if self.trusted or self.allow_filesystem:
+            return
+        self._violate(f"file access ({mode!r}) to {path!r} denied for "
+                      f"non-trusted code from {self.provider_host!r}")
+
+    def check_exec(self, what: str) -> None:
+        """Deny subprocess/exec-style operations to non-trusted code."""
+        if self.trusted:
+            return
+        self._violate(f"execution of {what!r} denied for non-trusted code")
+
+    # -- administration -----------------------------------------------------
+
+    def relax(self, *, filesystem: bool = False,
+              hosts: Optional[Iterable[str]] = None) -> None:
+        """User-directed relaxation of the policy (paper: "the user can
+        choose to relax security requirements")."""
+        if filesystem:
+            self.allow_filesystem = True
+        if hosts:
+            self._allowed_hosts.update(hosts)
+
+    def _violate(self, message: str) -> None:
+        self.violations.append(message)
+        raise SecurityViolationError(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SecurityPolicy(provider={self.provider_host!r}, "
+                f"trusted={self.trusted}, fs={self.allow_filesystem})")
+
+
+def default_policy_for(provider_host: str) -> SecurityPolicy:
+    """The policy JavaCAD applies to downloaded classes by default."""
+    return SecurityPolicy(provider_host=provider_host,
+                          allow_filesystem=False, trusted=False)

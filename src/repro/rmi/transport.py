@@ -1,0 +1,205 @@
+"""Client-side transports: how stubs reach a JavaCAD server.
+
+Two interchangeable implementations of the same invoke contract:
+
+* :class:`InProcessTransport` executes the servant in-process but still
+  pushes every argument and result through the restricted marshaller and
+  charges a :class:`~repro.net.model.NetworkModel`-driven virtual clock.
+  This is the deterministic path used by all benchmarks.
+* :class:`TcpTransport` speaks the framed wire protocol over a real TCP
+  socket, enforcing the security policy's connect-back rule.
+
+Both count calls and payload bytes, which Figure 3's buffer-size sweep
+reads back.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.errors import RemoteError
+from ..net.clock import CostModel, VirtualClock
+from ..net.model import NetworkModel
+from .protocol import CallReply, CallRequest
+from .security import SecurityPolicy
+from .server import JavaCADServer
+
+
+@dataclass
+class TransportStats:
+    """Call/byte counters maintained by every transport."""
+
+    calls: int = 0
+    oneway_calls: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    errors: int = 0
+
+    def record(self, sent: int, received: int, oneway: bool) -> None:
+        """Account one completed call."""
+        self.calls += 1
+        if oneway:
+            self.oneway_calls += 1
+        self.bytes_sent += sent
+        self.bytes_received += received
+
+
+class Transport:
+    """Abstract client transport."""
+
+    def __init__(self) -> None:
+        self.stats = TransportStats()
+
+    def invoke(self, object_name: str, method: str,
+               args: Tuple[Any, ...] = (),
+               kwargs: Optional[Dict[str, Any]] = None,
+               oneway: bool = False) -> Any:
+        """Invoke ``object_name.method(*args, **kwargs)`` remotely.
+
+        A oneway call returns None immediately (fire-and-forget); the
+        paper uses this for non-blocking gate-level simulation runs.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any underlying resources."""
+
+
+class InProcessTransport(Transport):
+    """Deterministic transport: real marshalling, simulated network.
+
+    The full client-side cost structure of an RMI call is charged to the
+    virtual clock:
+
+    * ``marshal_call`` + ``marshal_per_byte * request`` of client CPU,
+    * a blocking network wait of ``network.call_time(request, reply)``
+      (or an asynchronous completion for oneway calls),
+    * ``marshal_per_byte * reply`` of client CPU to unmarshal.
+
+    Server CPU is charged separately through the dispatch path and
+    contends with the client only when ``network.shared_host`` is set.
+    """
+
+    def __init__(self, server: JavaCADServer, network: NetworkModel,
+                 clock: Optional[VirtualClock] = None,
+                 cost_model: Optional[CostModel] = None,
+                 policy: Optional[SecurityPolicy] = None):
+        super().__init__()
+        self.server = server
+        self.network = network
+        self.clock = clock or VirtualClock()
+        self.cost = cost_model or CostModel()
+        self.policy = policy
+        self._link_free = 0.0  # virtual time the shared link is busy until
+
+    def invoke(self, object_name: str, method: str,
+               args: Tuple[Any, ...] = (),
+               kwargs: Optional[Dict[str, Any]] = None,
+               oneway: bool = False) -> Any:
+        if self.policy is not None:
+            self.policy.check_connect(self.server.host_name)
+        request = CallRequest(object_name, method, tuple(args),
+                              dict(kwargs or {}), oneway=oneway)
+        request_bytes = request.encode()
+        self.clock.charge_cpu(self.cost.marshal_call
+                              + self.cost.marshal_per_byte
+                              * len(request_bytes))
+        reply = self.server.dispatch(CallRequest.decode(request_bytes),
+                                     clock=self.clock,
+                                     shared_host=self.network.shared_host)
+        reply_bytes = reply.encode()
+        # Java object serialization carries class descriptors and object
+        # headers; the wire image is several times the raw payload.
+        factor = self.cost.wire_overhead_factor
+        network_time = self.network.call_time(
+            int(len(request_bytes) * factor),
+            int(len(reply_bytes) * factor))
+        self.stats.record(len(request_bytes), len(reply_bytes), oneway)
+        if oneway:
+            # Non-blocking transfers still share one physical link: each
+            # starts when the link frees up, so back-to-back buffers queue
+            # rather than overlapping perfectly.
+            start = max(self.clock.wall, self._link_free)
+            completion = start + network_time
+            self._link_free = completion
+            self.clock.begin_async(completion - self.clock.wall)
+            return None
+        queue_delay = max(0.0, self._link_free - self.clock.wall)
+        self.clock.wait(queue_delay + network_time)
+        self._link_free = self.clock.wall
+        self.clock.charge_cpu(self.cost.marshal_per_byte * len(reply_bytes))
+        decoded = CallReply.decode(reply_bytes)
+        if not decoded.ok:
+            self.stats.errors += 1
+            raise RemoteError(decoded.error or "remote call failed")
+        return decoded.result
+
+
+class TcpTransport(Transport):
+    """A real socket transport speaking the framed wire protocol."""
+
+    def __init__(self, host: str, port: int,
+                 policy: Optional[SecurityPolicy] = None,
+                 timeout: float = 5.0):
+        super().__init__()
+        self.host = host
+        self.port = port
+        self.policy = policy
+        self.timeout = timeout
+        self._socket: Optional[socket.socket] = None
+        self._lock = threading.Lock()
+
+    def _ensure_socket(self) -> socket.socket:
+        if self._socket is None:
+            if self.policy is not None:
+                self.policy.check_connect(self.host)
+            connection = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout)
+            self._socket = connection
+        return self._socket
+
+    def invoke(self, object_name: str, method: str,
+               args: Tuple[Any, ...] = (),
+               kwargs: Optional[Dict[str, Any]] = None,
+               oneway: bool = False) -> Any:
+        request = CallRequest(object_name, method, tuple(args),
+                              dict(kwargs or {}), oneway=oneway)
+        payload = request.encode()
+        with self._lock:
+            connection = self._ensure_socket()
+            connection.sendall(struct.pack(">I", len(payload)) + payload)
+            reply_bytes = self._read_frame(connection)
+        self.stats.record(len(payload), len(reply_bytes), oneway)
+        reply = CallReply.decode(reply_bytes)
+        if oneway:
+            return None
+        if not reply.ok:
+            self.stats.errors += 1
+            raise RemoteError(reply.error or "remote call failed")
+        return reply.result
+
+    def _read_frame(self, connection: socket.socket) -> bytes:
+        header = self._read_exact(connection, 4)
+        (length,) = struct.unpack(">I", header)
+        return self._read_exact(connection, length)
+
+    def _read_exact(self, connection: socket.socket, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            chunk = connection.recv(remaining)
+            if not chunk:
+                raise RemoteError("connection closed mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._socket is not None:
+                self._socket.close()
+                self._socket = None

@@ -1,0 +1,12 @@
+"""RT-level behavioural module library (word-level abstraction)."""
+
+from .combinational import (BinaryWordOp, BitwiseAnd, BitwiseOr, BitwiseXor,
+                            WordAdder, WordFunction, WordMultiplier, WordMux,
+                            WordSubtractor)
+from .sequential import Accumulator, Counter, MooreMachine
+
+__all__ = [
+    "BinaryWordOp", "BitwiseAnd", "BitwiseOr", "BitwiseXor", "WordAdder",
+    "WordFunction", "WordMultiplier", "WordMux", "WordSubtractor",
+    "Accumulator", "Counter", "MooreMachine",
+]

@@ -1,0 +1,132 @@
+"""Behavioural RT-level sequential modules (clocked word machines)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
+
+from ..core.connector import Connector
+from ..core.errors import DesignError
+from ..core.module import ModuleSkeleton
+from ..core.port import PortDirection
+from ..core.signal import Logic, Word
+from ..core.token import SignalToken, Token
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.controller import SimulationContext
+
+
+class _ClockedModule(ModuleSkeleton):
+    """Shared rising-edge detection for clocked modules."""
+
+    def _rising_edge(self, token: SignalToken,
+                     ctx: "SimulationContext") -> bool:
+        if token.port.name != "clk":
+            return False
+        if not isinstance(token.value, Logic):
+            raise DesignError(
+                f"module {self.name!r}: clock must carry Logic values")
+        state = self.state(ctx)
+        previous = state.get("clk", Logic.X)
+        state["clk"] = token.value
+        return previous is not Logic.ONE and token.value is Logic.ONE
+
+    def event_cost(self, cost_model: Any, token: Token) -> float:
+        return cost_model.word_op
+
+
+class Counter(_ClockedModule):
+    """A modulo-``2**width`` up counter stepped on each rising clock edge."""
+
+    def __init__(self, width: int, clock: Connector, out: Connector,
+                 step: int = 1, start: int = 0,
+                 name: Optional[str] = None):
+        super().__init__(name=name)
+        self.width = width
+        self.step = step
+        self.start = start
+        self.add_port("clk", PortDirection.IN, 1, connector=clock)
+        self.add_port("q", PortDirection.OUT, width, connector=out)
+
+    def process_input_event(self, token: SignalToken,
+                            ctx: "SimulationContext") -> None:
+        if not self._rising_edge(token, ctx):
+            return
+        state = self.state(ctx)
+        value = state.get("count", self.start - self.step)
+        value = (value + self.step) % (1 << self.width)
+        state["count"] = value
+        self.emit("q", Word(value, self.width), ctx)
+
+    def count(self, ctx: "SimulationContext") -> Optional[int]:
+        """Current counter value for this run, or None before any edge."""
+        return self.state(ctx).get("count")
+
+
+class Accumulator(_ClockedModule):
+    """Adds the data input into a register on each rising clock edge."""
+
+    def __init__(self, width: int, data: Connector, clock: Connector,
+                 out: Connector, name: Optional[str] = None):
+        super().__init__(name=name)
+        self.width = width
+        self.add_port("d", PortDirection.IN, width, connector=data)
+        self.add_port("clk", PortDirection.IN, 1, connector=clock)
+        self.add_port("q", PortDirection.OUT, width, connector=out)
+
+    def process_input_event(self, token: SignalToken,
+                            ctx: "SimulationContext") -> None:
+        state = self.state(ctx)
+        if token.port.name == "d":
+            state["d"] = token.value
+            return
+        if not self._rising_edge(token, ctx):
+            return
+        data = state.get("d")
+        if not isinstance(data, Word) or not data.known:
+            return
+        total = (state.get("acc", 0) + data.value) % (1 << self.width)
+        state["acc"] = total
+        self.emit("q", Word(total, self.width), ctx)
+
+
+class MooreMachine(_ClockedModule):
+    """A table-driven Moore finite-state machine.
+
+    ``transitions[(state, symbol)] -> next_state`` over small-integer
+    states and input symbols; ``outputs[state] -> int`` defines the word
+    emitted after each transition.
+    """
+
+    def __init__(self, width: int, data: Connector, clock: Connector,
+                 out: Connector,
+                 transitions: Dict[Tuple[int, int], int],
+                 outputs: Dict[int, int], initial_state: int = 0,
+                 name: Optional[str] = None):
+        super().__init__(name=name)
+        self.width = width
+        self.transitions = dict(transitions)
+        self.outputs = dict(outputs)
+        self.initial_state = initial_state
+        self.add_port("d", PortDirection.IN, width, connector=data)
+        self.add_port("clk", PortDirection.IN, 1, connector=clock)
+        self.add_port("q", PortDirection.OUT, width, connector=out)
+
+    def process_input_event(self, token: SignalToken,
+                            ctx: "SimulationContext") -> None:
+        state = self.state(ctx)
+        if token.port.name == "d":
+            state["d"] = token.value
+            return
+        if not self._rising_edge(token, ctx):
+            return
+        data = state.get("d")
+        if not isinstance(data, Word) or not data.known:
+            return
+        current = state.get("fsm", self.initial_state)
+        nxt = self.transitions.get((current, data.value), current)
+        state["fsm"] = nxt
+        self.emit("q", Word(self.outputs.get(nxt, 0), self.width), ctx)
+
+    def current_state(self, ctx: "SimulationContext") -> int:
+        """The FSM state for this run."""
+        return self.state(ctx).get("fsm", self.initial_state)

@@ -1,0 +1,113 @@
+"""Behavioural DSP pipeline modules."""
+
+import pytest
+
+from repro.behav import (Decimator, FIRFilter, Frame, SampleMap,
+                         StreamConnector, StreamProbe, StreamSource)
+from repro.core import Circuit, DesignError, SimulationController
+
+
+def run_pipeline(*modules):
+    controller = SimulationController(Circuit(*modules))
+    controller.start()
+    return controller
+
+
+class TestSourceAndProbe:
+    def test_frames_arrive_in_order(self):
+        stream = StreamConnector()
+        source = StreamSource([Frame([1]), Frame([2])], stream,
+                              name="SRC")
+        probe = StreamProbe(stream, name="PRB")
+        controller = run_pipeline(source, probe)
+        assert probe.frames(controller.context) == [Frame([1]),
+                                                    Frame([2])]
+
+    def test_samples_flatten(self):
+        stream = StreamConnector()
+        source = StreamSource([Frame([1, 2]), Frame([3])], stream,
+                              name="SRC")
+        probe = StreamProbe(stream, name="PRB")
+        controller = run_pipeline(source, probe)
+        assert probe.samples(controller.context) == [1, 2, 3]
+
+    def test_period_validation(self):
+        with pytest.raises(DesignError):
+            StreamSource([], StreamConnector(), period=0)
+
+
+class TestFIRFilter:
+    def test_moving_sum(self):
+        s1, s2 = StreamConnector(), StreamConnector()
+        source = StreamSource([Frame([1, 2, 3, 4])], s1, name="SRC")
+        fir = FIRFilter([1, 1], s1, s2, name="FIR")
+        probe = StreamProbe(s2, name="PRB")
+        controller = run_pipeline(source, fir, probe)
+        assert probe.samples(controller.context) == [1, 3, 5, 7]
+
+    def test_state_carries_across_frames(self):
+        """Frame boundaries are invisible to the convolution."""
+        def run(frames):
+            s1, s2 = StreamConnector(), StreamConnector()
+            source = StreamSource(frames, s1, name="SRC")
+            fir = FIRFilter([1, 1, 1], s1, s2, name="FIR")
+            probe = StreamProbe(s2, name="PRB")
+            controller = run_pipeline(source, fir, probe)
+            return probe.samples(controller.context)
+
+        whole = run([Frame([1, 2, 3, 4, 5, 6])])
+        split = run([Frame([1, 2]), Frame([3, 4, 5]), Frame([6])])
+        assert whole == split
+
+    def test_identity_filter(self):
+        s1, s2 = StreamConnector(), StreamConnector()
+        source = StreamSource([Frame([5, -3, 8])], s1, name="SRC")
+        fir = FIRFilter([1], s1, s2, name="FIR")
+        probe = StreamProbe(s2, name="PRB")
+        controller = run_pipeline(source, fir, probe)
+        assert probe.samples(controller.context) == [5, -3, 8]
+
+    def test_needs_coefficients(self):
+        with pytest.raises(DesignError):
+            FIRFilter([], StreamConnector(), StreamConnector())
+
+
+class TestDecimatorAndMap:
+    def test_decimation_across_frames(self):
+        s1, s2 = StreamConnector(), StreamConnector()
+        source = StreamSource([Frame([0, 1, 2]), Frame([3, 4, 5])], s1,
+                              name="SRC")
+        decimator = Decimator(2, s1, s2, name="DEC")
+        probe = StreamProbe(s2, name="PRB")
+        controller = run_pipeline(source, decimator, probe)
+        # Global indices 0,2,4 survive regardless of frame boundaries.
+        assert probe.samples(controller.context) == [0, 2, 4]
+
+    def test_factor_validation(self):
+        with pytest.raises(DesignError):
+            Decimator(0, StreamConnector(), StreamConnector())
+
+    def test_sample_map(self):
+        s1, s2 = StreamConnector(), StreamConnector()
+        source = StreamSource([Frame([1, 2, 3])], s1, name="SRC")
+        gain = SampleMap(lambda s: 10 * s, s1, s2, name="GAIN")
+        probe = StreamProbe(s2, name="PRB")
+        controller = run_pipeline(source, gain, probe)
+        assert probe.samples(controller.context) == [10, 20, 30]
+
+
+class TestConcurrency:
+    def test_pipeline_state_is_per_scheduler(self):
+        s1, s2 = StreamConnector(), StreamConnector()
+        source = StreamSource([Frame([1, 2]), Frame([3, 4])], s1,
+                              name="SRC")
+        fir = FIRFilter([1, 1], s1, s2, name="FIR")
+        probe = StreamProbe(s2, name="PRB")
+        circuit = Circuit(source, fir, probe)
+        first = SimulationController(circuit)
+        second = SimulationController(circuit)
+        threads = [first.start_async(), second.start_async()]
+        for thread in threads:
+            thread.join(timeout=10)
+        assert probe.samples(first.context) == \
+            probe.samples(second.context) == [1, 3, 5, 7]

@@ -1,0 +1,62 @@
+"""Behavioural-level frames and stream connectors."""
+
+import pytest
+
+from repro.behav import Frame, StreamConnector
+from repro.core import ConnectionError_, Logic
+from repro.rmi import marshal, unmarshal
+
+
+class TestFrame:
+    def test_samples_and_rate(self):
+        frame = Frame([1, 2, 3], rate=8.0)
+        assert frame.samples == (1, 2, 3)
+        assert frame.rate == 8.0
+        assert len(frame) == 3
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            Frame([1], rate=0)
+
+    def test_equality_and_hash(self):
+        assert Frame([1, 2]) == Frame([1, 2])
+        assert Frame([1, 2]) != Frame([1, 2], rate=2.0)
+        assert hash(Frame([1])) == hash(Frame([1]))
+
+    def test_map(self):
+        assert Frame([1, -2, 3]).map(abs).samples == (1, 2, 3)
+
+    def test_decimate(self):
+        frame = Frame([0, 1, 2, 3, 4, 5], rate=6.0)
+        decimated = frame.decimate(3)
+        assert decimated.samples == (0, 3)
+        assert decimated.rate == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            frame.decimate(0)
+
+    def test_energy(self):
+        assert Frame([3, 4]).energy() == 25
+
+    def test_marshals_over_rmi(self):
+        frame = Frame([10, -20, 30], rate=44.1)
+        restored = unmarshal(marshal(frame))
+        assert restored == frame
+
+
+class TestStreamConnector:
+    def test_carries_frames_only(self):
+        connector = StreamConnector("s")
+        connector.set_value(1, Frame([1]))
+        assert connector.get_value(1) == Frame([1])
+        with pytest.raises(ConnectionError_, match="Frame"):
+            connector.set_value(1, Logic.ONE)
+
+    def test_default_is_empty_frame(self):
+        connector = StreamConnector("s")
+        assert connector.get_value(42) == Frame(())
+
+    def test_per_scheduler_isolation(self):
+        connector = StreamConnector("s")
+        connector.set_value(1, Frame([1]))
+        connector.set_value(2, Frame([2]))
+        assert connector.get_value(1) != connector.get_value(2)

@@ -1,0 +1,90 @@
+"""Report formatting and virtual-time measurement helpers."""
+
+import pytest
+
+from repro.bench import ascii_plot, format_series, format_table, measure
+from repro.net import VirtualClock
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["Name", "Value"],
+                            [["short", 1], ["a-much-longer-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        header, rule, first, second = lines
+        assert header.startswith("Name")
+        assert set(rule) <= {"-", " "}
+        # Columns align: 'Value' column starts at the same offset.
+        assert header.index("Value") == first.index("1")
+
+    def test_empty_rows(self):
+        text = format_table(["A"], [])
+        assert text.splitlines()[0] == "A"
+
+    def test_cells_stringified(self):
+        text = format_table(["x"], [[3.5], [None]])
+        assert "3.5" in text and "None" in text
+
+
+class TestFormatSeries:
+    def test_title_and_columns(self):
+        text = format_series("Figure X", [(1, 2.0), (3, 4.0)],
+                             ["n", "t"])
+        assert text.startswith("Figure X")
+        assert "n" in text and "4.0" in text
+
+
+class TestAsciiPlot:
+    def test_monotone_series_renders(self):
+        points = [(x, 100 - 10 * x) for x in range(10)]
+        plot = ascii_plot(points, width=40, height=8, label="demo")
+        lines = plot.splitlines()
+        assert lines[0].startswith("demo")
+        assert len(lines) == 9
+        assert sum(line.count("*") for line in lines[1:]) == 10
+        # Decreasing series: the leftmost point sits on a higher grid
+        # row (smaller index) than the rightmost point.
+        grid = lines[1:]
+        first_row = next(i for i, line in enumerate(grid)
+                         if len(line) > 0 and line[0] == "*")
+        width = max(len(line) for line in grid)
+        last_row = next(i for i, line in enumerate(grid)
+                        if line.ljust(width)[width - 1] == "*")
+        assert first_row < last_row
+
+    def test_single_point(self):
+        plot = ascii_plot([(1.0, 1.0)])
+        assert "*" in plot
+
+    def test_empty(self):
+        assert ascii_plot([]) == "(no data)"
+
+
+class TestMeasure:
+    def test_span_captures_deltas(self):
+        clock = VirtualClock()
+        clock.charge_cpu(1.0)
+        with measure(clock) as span:
+            clock.charge_cpu(2.0)
+            clock.wait(3.0)
+            clock.charge_server_cpu(0.5)
+        assert span.cpu == pytest.approx(2.0)
+        assert span.wall == pytest.approx(5.0)
+        assert span.server_cpu == pytest.approx(0.5)
+
+    def test_span_syncs_outstanding_async(self):
+        clock = VirtualClock()
+        with measure(clock) as span:
+            clock.begin_async(4.0)
+            clock.charge_cpu(1.0)
+        # The outstanding transfer is joined at span end.
+        assert span.wall == pytest.approx(4.0)
+
+    def test_span_finalized_even_on_error(self):
+        clock = VirtualClock()
+        with pytest.raises(RuntimeError):
+            with measure(clock) as span:
+                clock.charge_cpu(1.0)
+                raise RuntimeError("boom")
+        assert span.cpu == pytest.approx(1.0)

@@ -1,0 +1,93 @@
+"""Coordinating many cooperating schedulers."""
+
+import pytest
+
+from repro.core import (Circuit, PatternPrimaryInput, PrimaryOutput,
+                        RunConfig, SimulationCoordinator, SimulationError,
+                        WordConnector)
+from repro.estimation import (AREA, ByName, ConstantEstimator,
+                              SetupController)
+
+
+def build_circuit(patterns=10):
+    connector = WordConnector(8)
+    source = PatternPrimaryInput(8, list(range(patterns)), connector,
+                                 name="IN")
+    source.add_estimator(ConstantEstimator(AREA.name, 7.0, name="a7"))
+    source.add_estimator(ConstantEstimator(AREA.name, 9.0, name="a9"))
+    sink = PrimaryOutput(8, connector, name="OUT")
+    return Circuit(source, sink), sink
+
+
+class TestCoordinator:
+    def test_concurrent_runs_complete(self):
+        circuit, sink = build_circuit()
+        coordinator = SimulationCoordinator(circuit)
+        results = coordinator.launch([RunConfig("r1"), RunConfig("r2"),
+                                      RunConfig("r3")])
+        assert set(results) == {"r1", "r2", "r3"}
+        for name in results:
+            controller = coordinator.controller(name)
+            trace = sink.trace(controller.context)
+            assert [v.value for _t, v in trace] == list(range(10))
+
+    def test_per_run_setups(self):
+        circuit, _sink = build_circuit(patterns=3)
+        setup_a = SetupController(name="sa")
+        setup_a.set(AREA, ByName("a7"))
+        setup_a.apply(circuit)
+        setup_b = SetupController(name="sb")
+        setup_b.set(AREA, ByName("a9"))
+        setup_b.apply(circuit)
+        coordinator = SimulationCoordinator(circuit)
+        coordinator.launch([RunConfig("a", setup=setup_a),
+                            RunConfig("b", setup=setup_b)])
+        assert setup_a.results.series("IN", AREA.name) == [7.0] * 3
+        assert setup_b.results.series("IN", AREA.name) == [9.0] * 3
+
+    def test_bounded_runs(self):
+        circuit, sink = build_circuit(patterns=10)
+        coordinator = SimulationCoordinator(circuit)
+        coordinator.launch([RunConfig("short", max_time=3.0),
+                            RunConfig("full")])
+        short = coordinator.controller("short")
+        full = coordinator.controller("full")
+        assert len(sink.trace(short.context)) == 4
+        assert len(sink.trace(full.context)) == 10
+
+    def test_duplicate_names_rejected(self):
+        circuit, _sink = build_circuit()
+        coordinator = SimulationCoordinator(circuit)
+        with pytest.raises(SimulationError, match="unique"):
+            coordinator.launch([RunConfig("x"), RunConfig("x")])
+
+    def test_empty_launch_rejected(self):
+        circuit, _sink = build_circuit()
+        with pytest.raises(SimulationError):
+            SimulationCoordinator(circuit).launch([])
+
+    def test_unknown_controller(self):
+        circuit, _sink = build_circuit()
+        coordinator = SimulationCoordinator(circuit)
+        with pytest.raises(SimulationError):
+            coordinator.controller("ghost")
+
+    def test_teardown_clears_all_runs(self):
+        circuit, sink = build_circuit(patterns=2)
+        coordinator = SimulationCoordinator(circuit)
+        coordinator.launch([RunConfig("r1"), RunConfig("r2")])
+        coordinator.teardown()
+        for name in ("r1", "r2"):
+            controller = coordinator.controller(name)
+            assert sink.trace(controller.context) == []
+
+    def test_independent_virtual_clocks(self):
+        circuit, _sink = build_circuit()
+        coordinator = SimulationCoordinator(circuit)
+        results = coordinator.launch([RunConfig("r1"),
+                                      RunConfig("r2", max_events=3)])
+        assert results["r1"].events > results["r2"].events
+        clock_a = coordinator.controller("r1").clock
+        clock_b = coordinator.controller("r2").clock
+        assert clock_a is not clock_b
+        assert clock_a.cpu > clock_b.cpu

@@ -1,0 +1,177 @@
+"""Standard library modules: sources, sinks, registers, clocks, fanout."""
+
+import pytest
+
+from repro.core import (BitConnector, Circuit, ClockGenerator, Delay,
+                        DesignError, Fanout, Logic, PatternPrimaryInput,
+                        PrimaryOutput, RandomPrimaryInput, Register,
+                        SimulationController, Word, WordConnector)
+
+
+def run(circuit, **kwargs):
+    controller = SimulationController(circuit)
+    controller.start(**kwargs)
+    return controller
+
+
+class TestPatternPrimaryInput:
+    def test_emits_sequence_at_period(self):
+        connector = WordConnector(8)
+        source = PatternPrimaryInput(8, [10, 20, 30], connector,
+                                     period=2.0, name="IN")
+        sink = PrimaryOutput(8, connector, name="OUT")
+        controller = run(Circuit(source, sink))
+        trace = sink.trace(controller.context)
+        assert [(t, v.value) for t, v in trace] == \
+            [(0.0, 10), (2.0, 20), (4.0, 30)]
+
+    def test_single_bit_coercion(self):
+        connector = BitConnector()
+        source = PatternPrimaryInput(1, [0, 1, Logic.ONE, Word(0, 4)],
+                                     connector, name="IN")
+        assert source.patterns == (Logic.ZERO, Logic.ONE, Logic.ONE,
+                                   Logic.ZERO)
+
+    def test_word_coercion_masks(self):
+        connector = WordConnector(4)
+        source = PatternPrimaryInput(4, [0x1F], connector, name="IN")
+        assert source.patterns[0] == Word(0xF, 4)
+
+    def test_drives_multiple_connectors(self):
+        c1, c2 = WordConnector(8), WordConnector(8)
+        source = PatternPrimaryInput(8, [5], c1, c2, name="IN")
+        s1 = PrimaryOutput(8, c1, name="O1")
+        s2 = PrimaryOutput(8, c2, name="O2")
+        controller = run(Circuit(source, s1, s2))
+        assert s1.last_value(controller.context) == Word(5, 8)
+        assert s2.last_value(controller.context) == Word(5, 8)
+
+    def test_validation(self):
+        with pytest.raises(DesignError):
+            PatternPrimaryInput(8, [1])  # no connector
+        with pytest.raises(DesignError):
+            PatternPrimaryInput(8, [1], WordConnector(8), period=0.0)
+
+    def test_empty_pattern_list_is_inert(self):
+        connector = WordConnector(8)
+        source = PatternPrimaryInput(8, [], connector, name="IN")
+        sink = PrimaryOutput(8, connector, name="OUT")
+        controller = run(Circuit(source, sink))
+        assert sink.trace(controller.context) == []
+
+
+class TestRandomPrimaryInput:
+    def test_deterministic_from_seed(self):
+        a = RandomPrimaryInput(16, WordConnector(16), patterns=10, seed=4)
+        b = RandomPrimaryInput(16, WordConnector(16), patterns=10, seed=4)
+        c = RandomPrimaryInput(16, WordConnector(16), patterns=10, seed=5)
+        assert a.patterns == b.patterns
+        assert a.patterns != c.patterns
+
+    def test_values_fit_width(self):
+        source = RandomPrimaryInput(4, WordConnector(4), patterns=50,
+                                    seed=0)
+        assert all(p.value < 16 for p in source.patterns)
+
+
+class TestRegister:
+    def test_transparent_mode(self):
+        d, q = WordConnector(8), WordConnector(8)
+        source = PatternPrimaryInput(8, [1, 2], d, name="IN")
+        register = Register(8, d, q, name="REG")
+        sink = PrimaryOutput(8, q, name="OUT")
+        controller = run(Circuit(source, register, sink))
+        assert [v.value for _t, v in sink.trace(controller.context)] == \
+            [1, 2]
+        assert register.stored_value(controller.context) == Word(2, 8)
+
+    def test_transparent_with_delay(self):
+        d, q = WordConnector(8), WordConnector(8)
+        source = PatternPrimaryInput(8, [1], d, name="IN")
+        register = Register(8, d, q, delay=0.5, name="REG")
+        sink = PrimaryOutput(8, q, name="OUT")
+        controller = run(Circuit(source, register, sink))
+        assert sink.trace(controller.context)[0][0] == 0.5
+
+    def test_clocked_mode_samples_on_rising_edge(self):
+        d, q, clk = WordConnector(8), WordConnector(8), BitConnector()
+        source = PatternPrimaryInput(8, [11, 22, 33], d, name="IN")
+        clock = ClockGenerator(clk, period=2.0, cycles=3, start_high=False,
+                               name="CLK")
+        register = Register(8, d, q, clock=clk, name="REG")
+        sink = PrimaryOutput(8, q, name="OUT")
+        controller = run(Circuit(source, clock, register, sink))
+        values = [v.value for _t, v in sink.trace(controller.context)]
+        # Rising edges at t=1,3,5 sample the pattern current at the time.
+        assert values == [22, 33, 33]
+
+    def test_clocked_ignores_data_until_edge(self):
+        d, q, clk = WordConnector(8), WordConnector(8), BitConnector()
+        source = PatternPrimaryInput(8, [9], d, name="IN")
+        register = Register(8, d, q, clock=clk, name="REG")
+        sink = PrimaryOutput(8, q, name="OUT")
+        controller = run(Circuit(source, register, sink))
+        assert sink.trace(controller.context) == []
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(DesignError):
+            Register(8, WordConnector(8), WordConnector(8), delay=-1)
+
+
+class TestClockGenerator:
+    def test_edge_stream(self):
+        clk = BitConnector()
+        clock = ClockGenerator(clk, period=2.0, cycles=2, name="CLK")
+        sink = PrimaryOutput(1, clk, name="OUT")
+        controller = run(Circuit(clock, sink))
+        trace = sink.trace(controller.context)
+        assert [(t, v) for t, v in trace] == [
+            (0.0, Logic.ONE), (1.0, Logic.ZERO),
+            (2.0, Logic.ONE), (3.0, Logic.ZERO)]
+
+    def test_free_running_clock_respects_max_time(self):
+        clk = BitConnector()
+        clock = ClockGenerator(clk, period=2.0, name="CLK")
+        sink = PrimaryOutput(1, clk, name="OUT")
+        circuit = Circuit(clock, sink)
+        controller = SimulationController(circuit)
+        controller.start(max_time=9.0)
+        assert len(sink.trace(controller.context)) == 10
+
+    def test_period_validation(self):
+        with pytest.raises(DesignError):
+            ClockGenerator(BitConnector(), period=0)
+
+
+class TestFanoutAndDelay:
+    def test_fanout_replicates_with_per_branch_delays(self):
+        src = BitConnector()
+        b0, b1 = BitConnector(), BitConnector()
+        source = PatternPrimaryInput(1, [1], src, name="IN")
+        fanout = Fanout(1, src, [b0, b1], delays=[0.0, 0.5], name="FAN")
+        s0 = PrimaryOutput(1, b0, name="O0")
+        s1 = PrimaryOutput(1, b1, name="O1")
+        controller = run(Circuit(source, fanout, s0, s1))
+        assert s0.trace(controller.context) == [(0.0, Logic.ONE)]
+        assert s1.trace(controller.context) == [(0.5, Logic.ONE)]
+
+    def test_fanout_validation(self):
+        src = BitConnector()
+        with pytest.raises(DesignError):
+            Fanout(1, src, [])
+        with pytest.raises(DesignError):
+            Fanout(1, BitConnector(), [BitConnector()], delays=[1, 2])
+        with pytest.raises(DesignError):
+            Fanout(1, BitConnector(), [BitConnector()], delays=[-1.0])
+
+    def test_delay_module(self):
+        a, b = WordConnector(8), WordConnector(8)
+        source = PatternPrimaryInput(8, [3], a, name="IN")
+        delay = Delay(8, a, b, delay=2.5, name="DLY")
+        sink = PrimaryOutput(8, b, name="OUT")
+        controller = run(Circuit(source, delay, sink))
+        assert sink.trace(controller.context) == [(2.5, Word(3, 8))]
+
+    def test_delay_validation(self):
+        with pytest.raises(DesignError):
+            Delay(1, BitConnector(), BitConnector(), delay=-0.1)

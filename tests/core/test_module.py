@@ -1,0 +1,211 @@
+"""ModuleSkeleton: ports, state LUTs, dispatch, estimator tables."""
+
+import pytest
+
+from repro.core import (Circuit, CompositeModule, ConnectionError_,
+                        ControlToken, DesignError, Logic, ModuleSkeleton,
+                        PortDirection, SelfTriggerToken, SignalToken,
+                        SimulationController, SimulationError,
+                        WordConnector, Word, connect)
+from repro.estimation import ConstantEstimator
+
+
+class Recorder(ModuleSkeleton):
+    """Counts which hooks fire."""
+
+    def __init__(self, name=None):
+        super().__init__(name=name)
+        self.seen = []
+
+    def process_input_event(self, token, ctx):
+        self.seen.append(("signal", token.value))
+
+    def process_self_trigger(self, token, ctx):
+        self.seen.append(("trigger", token.tag))
+
+    def process_control_token(self, token, ctx):
+        self.seen.append(("control", token.command))
+
+
+@pytest.fixture
+def wired():
+    source = ModuleSkeleton("src")
+    sink = Recorder("dst")
+    out = source.add_port("o", PortDirection.OUT, 8)
+    inp = sink.add_port("i", PortDirection.IN, 8)
+    connector = connect(out, inp)
+    circuit = Circuit(source, sink)
+    controller = SimulationController(circuit)
+    return source, sink, connector, controller
+
+
+class TestPorts:
+    def test_duplicate_port_rejected(self):
+        module = ModuleSkeleton("m")
+        module.add_port("p", PortDirection.IN)
+        with pytest.raises(ConnectionError_):
+            module.add_port("p", PortDirection.OUT)
+
+    def test_unknown_port_lookup(self):
+        with pytest.raises(ConnectionError_):
+            ModuleSkeleton("m").port("nope")
+
+    def test_port_classification(self):
+        module = ModuleSkeleton("m")
+        module.add_port("i", PortDirection.IN)
+        module.add_port("o", PortDirection.OUT)
+        module.add_port("io", PortDirection.INOUT)
+        assert {p.name for p in module.input_ports()} == {"i", "io"}
+        assert {p.name for p in module.output_ports()} == {"o", "io"}
+
+
+class TestEmitAndRead:
+    def test_emit_delivers_signal_token(self, wired):
+        source, sink, connector, controller = wired
+        source.emit("o", Word(42, 8), controller.context)
+        controller.start()
+        assert sink.seen == [("signal", Word(42, 8))]
+        assert connector.get_value(
+            controller.scheduler.scheduler_id) == Word(42, 8)
+
+    def test_emit_from_input_port_rejected(self, wired):
+        _source, sink, _connector, controller = wired
+        with pytest.raises(SimulationError):
+            sink.emit("i", Word(1, 8), controller.context)
+
+    def test_emit_unconnected_output_is_silent(self):
+        module = ModuleSkeleton("m")
+        module.add_port("o", PortDirection.OUT, 4)
+        circuit = Circuit(module)
+        controller = SimulationController(circuit)
+        module.emit("o", Word(3, 4), controller.context)  # no error
+
+    def test_read_unconnected_port_rejected(self, wired):
+        source, _sink, _connector, controller = wired
+        lone = ModuleSkeleton("lone")
+        lone.add_port("i", PortDirection.IN)
+        with pytest.raises(SimulationError):
+            lone.read("i", controller.context)
+
+    def test_emit_with_delay(self, wired):
+        source, sink, _connector, controller = wired
+        source.emit("o", Word(1, 8), controller.context, delay=3.0)
+        stats = controller.start()
+        assert stats.end_time == 3.0
+
+
+class TestDispatch:
+    def test_all_token_kinds_dispatch(self, wired):
+        source, sink, _connector, controller = wired
+        ctx = controller.context
+        port = sink.port("i")
+        sink.receive(SignalToken(sink, port, Word(7, 8)), ctx)
+        sink.receive(SelfTriggerToken(sink, tag="tick"), ctx)
+        sink.receive(ControlToken(sink, "reset"), ctx)
+        assert [kind for kind, _ in sink.seen] == \
+            ["signal", "trigger", "control"]
+
+    def test_override_takes_precedence(self, wired):
+        _source, sink, _connector, controller = wired
+        hits = []
+        controller.override_handler(sink,
+                                    lambda m, t, c: hits.append(t.kind))
+        sink.receive(ControlToken(sink, "reset"), controller.context)
+        assert hits == ["ControlToken"] and sink.seen == []
+        controller.clear_override(sink)
+        sink.receive(ControlToken(sink, "reset"), controller.context)
+        assert sink.seen == [("control", "reset")]
+
+
+class TestStateLUT:
+    def test_state_is_per_scheduler(self, wired):
+        _source, sink, _connector, controller = wired
+        other = SimulationController(controller.circuit)
+        sink.state(controller.context)["k"] = 1
+        sink.state(other.context)["k"] = 2
+        assert sink.state(controller.context)["k"] == 1
+        assert sink.state(other.context)["k"] == 2
+
+    def test_clear_state(self, wired):
+        _source, sink, _connector, controller = wired
+        sink.state(controller.context)["k"] = 1
+        sink.clear_state(controller.scheduler.scheduler_id)
+        assert "k" not in sink.state(controller.context)
+
+
+class TestEstimatorTables:
+    def test_candidates_and_binding(self):
+        module = ModuleSkeleton("m")
+        est_a = ConstantEstimator("area", 10.0, name="a")
+        est_b = ConstantEstimator("area", 12.0, name="b")
+        module.add_estimator(est_a)
+        module.add_estimator(est_b)
+        assert module.candidate_estimators("area") == (est_a, est_b)
+        assert module.estimated_parameters() == ("area",)
+        setup = object()
+        module.bind_estimator(setup, "area", est_b)
+        assert module.bound_estimator(setup, "area") is est_b
+        assert module.bound_estimator(object(), "area") is None
+        module.clear_setup(setup)
+        assert module.bound_estimator(setup, "area") is None
+
+
+class TestComposite:
+    def build(self):
+        inner_a = Recorder("inner_a")
+        inner_a.add_port("i", PortDirection.IN, 4)
+        inner_b = ModuleSkeleton("inner_b")
+        inner_b.add_port("o", PortDirection.OUT, 4)
+        composite = CompositeModule(inner_a, inner_b, name="comp")
+        composite.add_alias("in", inner_a.port("i"))
+        composite.add_alias("out", inner_b.port("o"))
+        return inner_a, inner_b, composite
+
+    def test_alias_resolves_to_inner_port(self):
+        inner_a, _inner_b, composite = self.build()
+        assert composite.port("in") is inner_a.port("i")
+
+    def test_flattening(self):
+        inner_a, inner_b, composite = self.build()
+        assert set(composite.submodules()) == {inner_a, inner_b}
+        circuit = Circuit(composite)
+        assert set(circuit.modules) == {inner_a, inner_b}
+
+    def test_nested_composites_flatten(self):
+        inner_a, inner_b, composite = self.build()
+        outer = CompositeModule(composite, name="outer")
+        assert set(outer.submodules()) == {inner_a, inner_b}
+
+    def test_alias_validation(self):
+        _ia, _ib, composite = self.build()
+        foreign = ModuleSkeleton("foreign")
+        foreign_port = foreign.add_port("p", PortDirection.IN)
+        with pytest.raises(DesignError):
+            composite.add_alias("bad", foreign_port)
+        with pytest.raises(DesignError):
+            composite.add_alias("in", composite.port("in"))
+
+    def test_composite_never_receives_tokens(self):
+        _ia, _ib, composite = self.build()
+        circuit = Circuit(composite)
+        controller = SimulationController(circuit)
+        with pytest.raises(SimulationError):
+            composite.receive(ControlToken(composite, "x"),
+                              controller.context)
+
+    def test_composite_needs_modules(self):
+        with pytest.raises(DesignError):
+            CompositeModule(name="empty")
+
+    def test_connect_through_composite_and_simulate(self):
+        inner_a, _inner_b, composite = self.build()
+        driver = ModuleSkeleton("driver")
+        out = driver.add_port("o", PortDirection.OUT, 4)
+        connector = WordConnector(4)
+        connector.attach(out)
+        connector.attach(composite.port("in"))
+        circuit = Circuit(driver, composite)
+        controller = SimulationController(circuit)
+        driver.emit("o", Word(9, 4), controller.context)
+        controller.start()
+        assert inner_a.seen == [("signal", Word(9, 4))]

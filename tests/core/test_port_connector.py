@@ -1,0 +1,122 @@
+"""Ports and point-to-point connectors."""
+
+import pytest
+
+from repro.core import (BitConnector, ConnectionError_, Logic,
+                        ModuleSkeleton, Port, PortDirection,
+                        WidthMismatchError, Word, WordConnector, connect)
+
+
+def make_port(name="p", direction=PortDirection.IN, width=1):
+    module = ModuleSkeleton(name=f"m_{name}")
+    return module.add_port(name, direction, width)
+
+
+class TestPort:
+    def test_direction_capabilities(self):
+        assert PortDirection.IN.can_read and not PortDirection.IN.can_write
+        assert PortDirection.OUT.can_write and not PortDirection.OUT.can_read
+        assert PortDirection.INOUT.can_read and PortDirection.INOUT.can_write
+
+    def test_width_validation(self):
+        with pytest.raises(ConnectionError_):
+            make_port(width=0)
+
+    def test_full_name(self):
+        port = make_port("data")
+        assert port.full_name == "m_data.data"
+        unbound = Port("q", PortDirection.OUT)
+        assert "<unbound>" in unbound.full_name
+
+    def test_peer(self):
+        a = make_port("a", PortDirection.OUT)
+        b = make_port("b", PortDirection.IN)
+        assert a.peer() is None
+        connect(a, b)
+        assert a.peer() is b and b.peer() is a
+
+
+class TestConnector:
+    def test_point_to_point_limit(self):
+        connector = BitConnector()
+        connector.attach(make_port("a", PortDirection.OUT))
+        connector.attach(make_port("b"))
+        with pytest.raises(ConnectionError_, match="point-to-point"):
+            connector.attach(make_port("c"))
+
+    def test_double_attach_same_port(self):
+        connector = BitConnector()
+        port = make_port("a")
+        connector.attach(port)
+        with pytest.raises(ConnectionError_, match="already connected"):
+            BitConnector().attach(port)
+
+    def test_width_check_on_attach(self):
+        with pytest.raises(WidthMismatchError):
+            WordConnector(8).attach(make_port("a", width=4))
+
+    def test_detach(self):
+        connector = BitConnector()
+        port = make_port("a")
+        connector.attach(port)
+        connector.detach(port)
+        assert not port.is_connected
+        with pytest.raises(ConnectionError_):
+            connector.detach(port)
+
+    def test_default_values(self):
+        assert BitConnector().default_value() is Logic.X
+        default = WordConnector(8).default_value()
+        assert not default.known and default.width == 8
+
+    def test_value_type_checks(self):
+        bit = BitConnector()
+        with pytest.raises(ConnectionError_):
+            bit.set_value(1, Word(1, 1))
+        word = WordConnector(8)
+        with pytest.raises(ConnectionError_):
+            word.set_value(1, Logic.ONE)
+        with pytest.raises(WidthMismatchError):
+            word.set_value(1, Word(1, 4))
+
+    def test_per_scheduler_values_are_isolated(self):
+        connector = WordConnector(8)
+        connector.set_value(1, Word(11, 8))
+        connector.set_value(2, Word(22, 8))
+        assert connector.get_value(1) == Word(11, 8)
+        assert connector.get_value(2) == Word(22, 8)
+        # A third scheduler sees the default.
+        assert not connector.get_value(3).known
+
+    def test_clear(self):
+        connector = BitConnector()
+        connector.set_value(1, Logic.ONE)
+        connector.clear(1)
+        assert connector.get_value(1) is Logic.X
+        connector.clear(99)  # clearing an unknown scheduler is a no-op
+
+
+class TestConnectHelper:
+    def test_auto_bit_connector(self):
+        a = make_port("a", PortDirection.OUT)
+        b = make_port("b")
+        connector = connect(a, b)
+        assert isinstance(connector, BitConnector)
+
+    def test_auto_word_connector(self):
+        a = make_port("a", PortDirection.OUT, width=16)
+        b = make_port("b", width=16)
+        connector = connect(a, b)
+        assert isinstance(connector, WordConnector)
+        assert connector.width == 16
+
+    def test_width_mismatch(self):
+        with pytest.raises(WidthMismatchError):
+            connect(make_port("a", width=4), make_port("b", width=8))
+
+    def test_explicit_connector(self):
+        shared = WordConnector(8)
+        a = make_port("a", PortDirection.OUT, width=8)
+        b = make_port("b", width=8)
+        assert connect(a, b, shared) is shared
+        assert set(shared.endpoints) == {a, b}

@@ -1,0 +1,203 @@
+"""Unit and property tests for the four-valued logic and word domain."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.signal import (Logic, Word, bits_from_int,
+                               bits_from_string, bits_to_string,
+                               int_from_bits, logic_and, logic_buf,
+                               logic_mux, logic_nand, logic_nor, logic_not,
+                               logic_or, logic_xnor, logic_xor, toggles)
+
+KNOWN = [Logic.ZERO, Logic.ONE]
+ALL = [Logic.ZERO, Logic.ONE, Logic.X, Logic.Z]
+
+
+class TestLogicBasics:
+    def test_from_bool(self):
+        assert Logic.from_bool(True) is Logic.ONE
+        assert Logic.from_bool(False) is Logic.ZERO
+
+    @pytest.mark.parametrize("char,value", [
+        ("0", Logic.ZERO), ("1", Logic.ONE), ("x", Logic.X),
+        ("X", Logic.X), ("z", Logic.Z), ("Z", Logic.Z)])
+    def test_from_char(self, char, value):
+        assert Logic.from_char(char) is value
+
+    def test_from_char_rejects_junk(self):
+        with pytest.raises(ValueError):
+            Logic.from_char("q")
+
+    def test_is_known(self):
+        assert Logic.ZERO.is_known and Logic.ONE.is_known
+        assert not Logic.X.is_known and not Logic.Z.is_known
+
+    def test_to_bool(self):
+        assert Logic.ONE.to_bool() is True
+        assert Logic.ZERO.to_bool() is False
+        with pytest.raises(ValueError):
+            Logic.X.to_bool()
+        with pytest.raises(ValueError):
+            Logic.Z.to_bool()
+
+    def test_driven_degrades_z(self):
+        assert Logic.Z.driven() is Logic.X
+        for value in (Logic.ZERO, Logic.ONE, Logic.X):
+            assert value.driven() is value
+
+    def test_to_char_roundtrip(self):
+        for value in ALL:
+            assert Logic.from_char(value.to_char()) is value.driven() or \
+                value is Logic.Z
+
+
+class TestLogicGates:
+    @pytest.mark.parametrize("a", KNOWN)
+    @pytest.mark.parametrize("b", KNOWN)
+    def test_known_truth_tables(self, a, b):
+        ab, bb = bool(a), bool(b)
+        assert logic_and(a, b) is Logic.from_bool(ab and bb)
+        assert logic_or(a, b) is Logic.from_bool(ab or bb)
+        assert logic_xor(a, b) is Logic.from_bool(ab != bb)
+        assert logic_nand(a, b) is Logic.from_bool(not (ab and bb))
+        assert logic_nor(a, b) is Logic.from_bool(not (ab or bb))
+        assert logic_xnor(a, b) is Logic.from_bool(ab == bb)
+
+    def test_not_and_buf(self):
+        assert logic_not(Logic.ZERO) is Logic.ONE
+        assert logic_not(Logic.ONE) is Logic.ZERO
+        assert logic_not(Logic.X) is Logic.X
+        assert logic_not(Logic.Z) is Logic.X
+        assert logic_buf(Logic.ONE) is Logic.ONE
+        assert logic_buf(Logic.Z) is Logic.X
+
+    def test_controlling_values_dominate_x(self):
+        assert logic_and(Logic.ZERO, Logic.X) is Logic.ZERO
+        assert logic_or(Logic.ONE, Logic.X) is Logic.ONE
+        assert logic_nand(Logic.ZERO, Logic.X) is Logic.ONE
+        assert logic_nor(Logic.ONE, Logic.X) is Logic.ZERO
+
+    def test_x_poisons_without_controlling_value(self):
+        assert logic_and(Logic.ONE, Logic.X) is Logic.X
+        assert logic_or(Logic.ZERO, Logic.X) is Logic.X
+        assert logic_xor(Logic.ONE, Logic.X) is Logic.X
+        assert logic_xnor(Logic.ZERO, Logic.X) is Logic.X
+
+    def test_variadic_gates(self):
+        assert logic_and(*[Logic.ONE] * 5) is Logic.ONE
+        assert logic_and(Logic.ONE, Logic.ONE, Logic.ZERO) is Logic.ZERO
+        assert logic_or(*[Logic.ZERO] * 4) is Logic.ZERO
+        assert logic_xor(Logic.ONE, Logic.ONE, Logic.ONE) is Logic.ONE
+
+    def test_mux(self):
+        assert logic_mux(Logic.ZERO, Logic.ONE, Logic.ZERO) is Logic.ONE
+        assert logic_mux(Logic.ONE, Logic.ONE, Logic.ZERO) is Logic.ZERO
+        # Unknown select: known only when both data inputs agree.
+        assert logic_mux(Logic.X, Logic.ONE, Logic.ONE) is Logic.ONE
+        assert logic_mux(Logic.X, Logic.ONE, Logic.ZERO) is Logic.X
+
+    @given(st.lists(st.sampled_from(KNOWN), min_size=1, max_size=6))
+    def test_demorgan_on_known_values(self, values):
+        assert logic_nand(*values) is logic_or(
+            *[logic_not(v) for v in values])
+        assert logic_nor(*values) is logic_and(
+            *[logic_not(v) for v in values])
+
+    @given(st.lists(st.sampled_from(ALL), min_size=1, max_size=6))
+    def test_gates_never_return_z(self, values):
+        for gate in (logic_and, logic_or, logic_xor, logic_nand,
+                     logic_nor, logic_xnor):
+            assert gate(*values) is not Logic.Z
+
+
+class TestBitVectors:
+    @given(st.integers(min_value=0, max_value=2**20 - 1))
+    def test_int_roundtrip(self, value):
+        assert int_from_bits(bits_from_int(value, 20)) == value
+
+    def test_bits_from_int_validation(self):
+        with pytest.raises(ValueError):
+            bits_from_int(1, 0)
+        with pytest.raises(ValueError):
+            bits_from_int(-1, 4)
+
+    def test_string_roundtrip(self):
+        assert bits_to_string(bits_from_string("10X1")) == "10X1"
+        assert bits_from_string("01") == (Logic.ONE, Logic.ZERO)
+
+    def test_int_from_bits_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            int_from_bits((Logic.ONE, Logic.X))
+
+
+class TestWord:
+    def test_masking(self):
+        assert Word(0x1FF, 8).value == 0xFF
+        assert Word(-1, 4).value == 0xF
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            Word(1, 0)
+
+    def test_unknown(self):
+        unknown = Word.unknown(8)
+        assert not unknown.known
+        with pytest.raises(ValueError):
+            _ = unknown.value
+        assert unknown.to_bits() == tuple([Logic.X] * 8)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_arithmetic_matches_ints(self, a, b):
+        wa, wb = Word(a, 8), Word(b, 8)
+        assert (wa + wb).value == (a + b) % 256
+        assert (wa - wb).value == (a - b) % 256
+        assert (wa * wb).value == a * b
+        assert (wa * wb).width == 16
+        assert (wa & wb).value == a & b
+        assert (wa | wb).value == a | b
+        assert (wa ^ wb).value == a ^ b
+        assert (~wa).value == (~a) % 256
+
+    def test_unknown_propagates(self):
+        known = Word(5, 8)
+        unknown = Word.unknown(8)
+        for op in (lambda: known + unknown, lambda: unknown * known,
+                   lambda: known & unknown, lambda: ~unknown):
+            assert not op().known
+
+    @given(st.integers(0, 2**12 - 1))
+    def test_bits_roundtrip(self, value):
+        word = Word(value, 12)
+        assert Word.from_bits(word.to_bits()) == word
+
+    def test_from_bits_with_x_is_unknown(self):
+        assert not Word.from_bits((Logic.ONE, Logic.X)).known
+
+    def test_resize(self):
+        assert Word(0xAB, 8).resize(4).value == 0xB
+        assert Word(0xB, 4).resize(8).value == 0xB
+        assert not Word.unknown(4).resize(8).known
+
+    def test_equality_and_hash(self):
+        assert Word(5, 8) == Word(5, 8)
+        assert Word(5, 8) != Word(5, 9)
+        assert Word(5, 8) != Word.unknown(8)
+        assert hash(Word(5, 8)) == hash(Word(5, 8))
+
+
+class TestToggles:
+    def test_logic_toggles(self):
+        assert toggles(Logic.ZERO, Logic.ONE) == 1
+        assert toggles(Logic.ONE, Logic.ONE) == 0
+        assert toggles(Logic.X, Logic.ONE) == 0
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_word_toggles_is_hamming(self, a, b):
+        assert toggles(Word(a, 8), Word(b, 8)) == bin(a ^ b).count("1")
+
+    def test_unknown_words_never_toggle(self):
+        assert toggles(Word.unknown(8), Word(3, 8)) == 0
+
+    def test_mixed_types(self):
+        assert toggles(Logic.ONE, Word(1, 4)) == 0

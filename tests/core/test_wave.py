@@ -1,0 +1,119 @@
+"""Waveform recording and VCD export."""
+
+import pytest
+
+from repro.core import (BitConnector, Circuit, ClockGenerator, Logic,
+                        PatternPrimaryInput, PrimaryOutput,
+                        SimulationController, WaveformRecorder, Word,
+                        WordConnector)
+from repro.rtl import WordAdder
+
+
+def recorded_run(recorder, *modules, **kwargs):
+    controller = SimulationController(Circuit(*modules))
+    controller.add_observer(recorder)
+    controller.start(**kwargs)
+    return controller
+
+
+class TestRecording:
+    def test_captures_value_changes(self):
+        connector = WordConnector(8, name="data")
+        source = PatternPrimaryInput(8, [1, 2, 3], connector, name="IN")
+        sink = PrimaryOutput(8, connector, name="OUT")
+        recorder = WaveformRecorder()
+        recorded_run(recorder, source, sink)
+        assert recorder.signals() == ("data",)
+        history = recorder.history("data")
+        assert [(t, v.value) for t, v in history] == \
+            [(0.0, 1), (1.0, 2), (2.0, 3)]
+
+    def test_filtering_by_connector(self):
+        a = WordConnector(8, name="a")
+        b = WordConnector(8, name="b")
+        o = WordConnector(8, name="o")
+        ina = PatternPrimaryInput(8, [1], a, name="INA")
+        inb = PatternPrimaryInput(8, [2], b, name="INB")
+        adder = WordAdder(8, a, b, o, name="ADD")
+        out = PrimaryOutput(8, o, name="OUT")
+        recorder = WaveformRecorder(connectors=[o])
+        recorded_run(recorder, ina, inb, adder, out)
+        assert recorder.signals() == ("o",)
+
+    def test_value_at(self):
+        connector = WordConnector(8, name="d")
+        source = PatternPrimaryInput(8, [10, 20], connector, name="IN")
+        sink = PrimaryOutput(8, connector, name="OUT")
+        recorder = WaveformRecorder()
+        recorded_run(recorder, source, sink)
+        assert recorder.value_at("d", 0.5) == Word(10, 8)
+        assert recorder.value_at("d", 1.0) == Word(20, 8)
+        assert recorder.value_at("d", -1.0) is None
+
+    def test_observer_removal(self):
+        connector = WordConnector(8, name="d")
+        source = PatternPrimaryInput(8, [1, 2], connector, name="IN")
+        sink = PrimaryOutput(8, connector, name="OUT")
+        recorder = WaveformRecorder()
+        controller = SimulationController(Circuit(source, sink))
+        controller.add_observer(recorder)
+        controller.remove_observer(recorder)
+        controller.start()
+        assert recorder.changes == ()
+
+
+class TestVcdExport:
+    def make_trace(self):
+        clk = BitConnector("clk")
+        data = WordConnector(4, name="bus")
+        clock = ClockGenerator(clk, period=2.0, cycles=2, name="CLK")
+        source = PatternPrimaryInput(4, [5, 9], data, name="IN")
+        sink_c = PrimaryOutput(1, clk, name="OC")
+        sink_d = PrimaryOutput(4, data, name="OD")
+        recorder = WaveformRecorder()
+        recorded_run(recorder, clock, source, sink_c, sink_d)
+        return recorder
+
+    def test_header_and_declarations(self):
+        vcd = self.make_trace().to_vcd(design_name="demo")
+        assert "$timescale 1 ns $end" in vcd
+        assert "$scope module demo $end" in vcd
+        assert "$var wire 1" in vcd and "clk" in vcd
+        assert "$var wire 4" in vcd and "bus" in vcd
+        assert "$enddefinitions $end" in vcd
+
+    def test_value_lines(self):
+        vcd = self.make_trace().to_vcd()
+        # Scalar logic values render as 0/1 + id; vectors as b... + id.
+        assert "\n#0\n" in vcd
+        assert "b101 " in vcd   # 5
+        assert "b1001 " in vcd  # 9
+        lines = vcd.splitlines()
+        tick_lines = [line for line in lines if line.startswith("#")]
+        ticks = [int(line[1:]) for line in tick_lines]
+        assert ticks == sorted(ticks)
+
+    def test_unknown_word_renders_x(self):
+        recorder = WaveformRecorder()
+        connector = WordConnector(4, name="w")
+        source = PatternPrimaryInput(4, [3], connector, name="IN")
+        sink = PrimaryOutput(4, connector, name="OUT")
+        controller = SimulationController(Circuit(source, sink))
+        controller.add_observer(recorder)
+        controller.prime(connector, Word.unknown(4))
+        controller.start()
+        from repro.core.wave import _vcd_value
+        assert _vcd_value(Word.unknown(4), "!") == "bxxxx !"
+        assert _vcd_value(Logic.X, "!") == "x!"
+
+    def test_write_vcd(self, tmp_path):
+        recorder = self.make_trace()
+        path = tmp_path / "trace.vcd"
+        with open(path, "w") as handle:
+            recorder.write_vcd(handle)
+        assert path.read_text().startswith("$date")
+
+    def test_identifier_generation(self):
+        from repro.core.wave import _vcd_identifier
+        seen = {_vcd_identifier(i) for i in range(200)}
+        assert len(seen) == 200  # all unique

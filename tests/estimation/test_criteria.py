@@ -1,0 +1,92 @@
+"""Estimator selection criteria."""
+
+import pytest
+
+from repro.estimation import (ByName, ConstantEstimator, Fastest,
+                              MaxAccuracy, MinCost, PreferLocal,
+                              RemoteEstimator)
+
+
+def make(name, error, cost=0.0, cpu=0.0, remote=False):
+    if remote:
+        return RemoteEstimator("p", name, stub=None, method="m",
+                               arg_builder=lambda m, c: (),
+                               expected_error=error, cost=cost,
+                               cpu_time=cpu)
+    return ConstantEstimator("p", 0.0, name=name, expected_error=error,
+                             cost=cost, cpu_time=cpu)
+
+
+CANDIDATES = [
+    make("datasheet", error=25.0, cost=0.0, cpu=0.0),
+    make("macro", error=20.0, cost=0.0, cpu=1.0),
+    make("accurate", error=10.0, cost=0.1, cpu=100.0, remote=True),
+]
+
+
+class TestMaxAccuracy:
+    def test_picks_most_accurate(self):
+        assert MaxAccuracy().choose(CANDIDATES).name == "accurate"
+
+    def test_cost_budget_excludes(self):
+        assert MaxAccuracy(cost_limit=0.0).choose(CANDIDATES).name == \
+            "macro"
+
+    def test_cpu_budget_excludes(self):
+        assert MaxAccuracy(cpu_limit=0.5).choose(CANDIDATES).name == \
+            "datasheet"
+
+    def test_none_when_budgets_impossible(self):
+        strict = MaxAccuracy(cost_limit=-1.0)
+        assert strict.choose(CANDIDATES) is None
+
+    def test_tie_broken_by_cost(self):
+        tied = [make("cheap", 10.0, cost=0.0),
+                make("pricey", 10.0, cost=5.0)]
+        assert MaxAccuracy().choose(tied).name == "cheap"
+
+
+class TestMinCost:
+    def test_picks_cheapest(self):
+        assert MinCost().choose(CANDIDATES).cost == 0.0
+
+    def test_error_floor(self):
+        assert MinCost(error_limit=15.0).choose(CANDIDATES).name == \
+            "accurate"
+
+    def test_none_when_floor_impossible(self):
+        assert MinCost(error_limit=1.0).choose(CANDIDATES) is None
+
+    def test_cost_tie_broken_by_accuracy(self):
+        assert MinCost().choose(CANDIDATES).name == "macro"
+
+
+class TestFastest:
+    def test_picks_fastest(self):
+        assert Fastest().choose(CANDIDATES).name == "datasheet"
+
+    def test_error_floor(self):
+        assert Fastest(error_limit=20.0).choose(CANDIDATES).name == \
+            "macro"
+
+
+class TestPreferLocal:
+    def test_ignores_remote(self):
+        assert PreferLocal().choose(CANDIDATES).name == "macro"
+
+    def test_none_when_all_remote(self):
+        only_remote = [make("r", 5.0, remote=True)]
+        assert PreferLocal().choose(only_remote) is None
+
+
+class TestByName:
+    def test_finds_by_name(self):
+        assert ByName("macro").choose(CANDIDATES).name == "macro"
+
+    def test_none_for_unknown(self):
+        assert ByName("ghost").choose(CANDIDATES) is None
+
+    def test_empty_candidates(self):
+        for criterion in (MaxAccuracy(), MinCost(), Fastest(),
+                          PreferLocal(), ByName("x")):
+            assert criterion.choose([]) is None

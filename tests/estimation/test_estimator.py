@@ -1,0 +1,119 @@
+"""Estimator skeletons, parameters and values."""
+
+import pytest
+
+from repro.core import (Circuit, EstimationError, ModuleSkeleton,
+                        SimulationController)
+from repro.estimation import (AREA, AVERAGE_POWER, DELAY,
+                              STANDARD_PARAMETERS, CallableEstimator,
+                              ConstantEstimator, EstimatorSkeleton,
+                              NullEstimator, NullValue, Parameter,
+                              ParamValue, RemoteEstimator)
+
+
+@pytest.fixture
+def ctx():
+    return SimulationController(Circuit(ModuleSkeleton("m"))).context
+
+
+class TestParameters:
+    def test_standard_set(self):
+        assert {"area", "delay", "average_power", "peak_power",
+                "io_activity", "testability"} == set(STANDARD_PARAMETERS)
+
+    def test_additivity_flags(self):
+        assert AREA.additive and AVERAGE_POWER.additive
+        assert not DELAY.additive
+
+    def test_custom_parameter(self):
+        custom = Parameter("noise", "mV", False)
+        assert str(custom) == "noise"
+
+
+class TestParamValue:
+    def test_equality(self):
+        a = ParamValue("area", 1.0, "g", 5.0, "e")
+        assert a == ParamValue("area", 1.0, "g", 5.0, "e")
+        assert a != ParamValue("area", 2.0, "g", 5.0, "e")
+
+    def test_null_value(self):
+        null = NullValue("area")
+        assert null.is_null and null.value is None
+        assert not ParamValue("area", 1.0).is_null
+
+
+class TestSkeleton:
+    def test_metadata_validation(self):
+        with pytest.raises(EstimationError):
+            EstimatorSkeleton("area", "e", expected_error=-1)
+        with pytest.raises(EstimationError):
+            EstimatorSkeleton("area", "e", cost=-1)
+        with pytest.raises(EstimationError):
+            EstimatorSkeleton("area", "e", cpu_time=-1)
+
+    def test_estimation_is_abstract(self, ctx):
+        with pytest.raises(NotImplementedError):
+            EstimatorSkeleton("area", "e").estimate(ModuleSkeleton("m"),
+                                                    ctx)
+
+    def test_estimate_wraps_raw_values(self, ctx):
+        estimator = CallableEstimator("area", "fn",
+                                      lambda m, c: 42.0,
+                                      expected_error=7.5, units="g")
+        value = estimator.estimate(ModuleSkeleton("m"), ctx)
+        assert isinstance(value, ParamValue)
+        assert value.value == 42.0
+        assert value.expected_error == 7.5
+        assert value.estimator == "fn"
+
+    def test_estimate_passes_through_param_values(self, ctx):
+        wrapped = ParamValue("area", 9.0)
+        estimator = CallableEstimator("area", "fn",
+                                      lambda m, c: wrapped)
+        assert estimator.estimate(ModuleSkeleton("m"), ctx) is wrapped
+
+    def test_local_by_default(self):
+        estimator = ConstantEstimator("area", 5.0)
+        assert not estimator.remote
+        assert not estimator.unpredictable_time
+
+
+class TestNullEstimator:
+    def test_always_null(self, ctx):
+        estimator = NullEstimator("delay")
+        value = estimator.estimate(ModuleSkeleton("m"), ctx)
+        assert value.is_null and value.parameter == "delay"
+
+    def test_free_and_instant(self):
+        estimator = NullEstimator("delay")
+        assert estimator.cost == 0.0 and estimator.cpu_time == 0.0
+
+
+class TestRemoteEstimator:
+    class FakeStub:
+        def __init__(self):
+            self.calls = []
+
+        def invoke(self, method, *args, oneway=False, **kwargs):
+            self.calls.append((method, args, oneway))
+            return 1.25
+
+    def test_blocking_remote_estimation(self, ctx):
+        stub = self.FakeStub()
+        module = ModuleSkeleton("m")
+        estimator = RemoteEstimator(
+            "average_power", "remote", stub, "power",
+            arg_builder=lambda m, c: (m.name,))
+        value = estimator.estimate(module, ctx)
+        assert value.value == 1.25
+        assert stub.calls == [("power", ("m",), False)]
+        assert estimator.remote and estimator.unpredictable_time
+
+    def test_oneway_returns_null(self, ctx):
+        stub = self.FakeStub()
+        estimator = RemoteEstimator(
+            "average_power", "remote", stub, "power",
+            arg_builder=lambda m, c: (), oneway=True)
+        value = estimator.estimate(ModuleSkeleton("m"), ctx)
+        assert value.is_null
+        assert stub.calls[0][2] is True

@@ -1,0 +1,71 @@
+"""Design-level estimation reports."""
+
+import pytest
+
+from repro.core import (Circuit, PatternPrimaryInput, PrimaryOutput,
+                        SimulationController, WordConnector)
+from repro.estimation import (AREA, DELAY, ByName, ConstantEstimator,
+                              MaxAccuracy, SetupController,
+                              design_report)
+
+
+@pytest.fixture
+def evaluated():
+    connector = WordConnector(8)
+    source = PatternPrimaryInput(8, [1, 2], connector, name="IN")
+    sink = PrimaryOutput(8, connector, name="OUT")
+    source.add_estimator(ConstantEstimator(AREA.name, 100.0, name="a"))
+    source.add_estimator(ConstantEstimator(DELAY.name, 7.0, name="d"))
+    sink.add_estimator(ConstantEstimator(AREA.name, 5.0, name="a2"))
+    sink.add_estimator(ConstantEstimator(DELAY.name, 3.0, name="d2"))
+    circuit = Circuit(source, sink)
+    setup = SetupController(name="report")
+    setup.set(AREA, MaxAccuracy())
+    setup.set(DELAY, MaxAccuracy())
+    setup.apply(circuit)
+    SimulationController(circuit, setup=setup).start()
+    return circuit, setup
+
+
+class TestDesignReport:
+    def test_rows_per_component(self, evaluated):
+        circuit, setup = evaluated
+        report = design_report(circuit, setup)
+        modules = [row.module for row in report.rows]
+        assert modules == ["IN", "OUT"]
+
+    def test_totals_respect_additivity(self, evaluated):
+        circuit, setup = evaluated
+        report = design_report(circuit, setup)
+        assert report.total(AREA.name) == 105.0       # additive: sum
+        assert report.total(DELAY.name) == 7.0        # worst case: max
+
+    def test_render_contains_rows_and_totals(self, evaluated):
+        circuit, setup = evaluated
+        text = design_report(circuit, setup).render()
+        assert "Component" in text
+        assert "TOTAL" in text
+        assert "105" in text
+        assert "area (eq-gates)" in text
+
+    def test_missing_values_render_as_dash(self):
+        connector = WordConnector(8)
+        source = PatternPrimaryInput(8, [1], connector, name="IN")
+        sink = PrimaryOutput(8, connector, name="OUT")
+        source.add_estimator(ConstantEstimator(AREA.name, 9.0,
+                                               name="only"))
+        circuit = Circuit(source, sink)
+        setup = SetupController()
+        setup.set(AREA, ByName("only"))
+        setup.set(DELAY, ByName("only"))  # no delay estimators anywhere
+        setup.apply(circuit)
+        SimulationController(circuit, setup=setup).start()
+        report = design_report(circuit, setup)
+        assert report.total(DELAY.name) is None
+        text = report.render()
+        assert "-" in text
+        assert "warnings:" in text  # null-estimator fallbacks listed
+
+    def test_unknown_total_lookup(self, evaluated):
+        circuit, setup = evaluated
+        assert design_report(circuit, setup).total("nonexistent") is None

@@ -1,0 +1,164 @@
+"""Setup controllers: set/apply, null fallback, results, multi-setup."""
+
+import pytest
+
+from repro.core import (Circuit, CompositeModule, ModuleSkeleton,
+                        PatternPrimaryInput, PortDirection, PrimaryOutput,
+                        SetupError, SimulationController, WordConnector)
+from repro.estimation import (AREA, AVERAGE_POWER, ByName,
+                              ConstantEstimator, MaxAccuracy,
+                              NullEstimator, SetupController,
+                              design_metric, estimate_static)
+
+
+def instrumented_circuit():
+    connector = WordConnector(8)
+    source = PatternPrimaryInput(8, [1, 2, 3], connector, name="IN")
+    sink = PrimaryOutput(8, connector, name="OUT")
+    source.add_estimator(ConstantEstimator(
+        AREA.name, 100.0, name="big-area", expected_error=10.0))
+    source.add_estimator(ConstantEstimator(
+        AREA.name, 90.0, name="small-area", expected_error=30.0))
+    sink.add_estimator(ConstantEstimator(
+        AREA.name, 5.0, name="sink-area", expected_error=5.0))
+    return Circuit(source, sink), source, sink
+
+
+class TestSetAndApply:
+    def test_apply_binds_per_criterion(self):
+        circuit, source, sink = instrumented_circuit()
+        setup = SetupController()
+        setup.set(AREA, MaxAccuracy())
+        setup.apply(circuit)
+        assert setup.chosen_estimator(source, AREA.name).name == \
+            "big-area"
+        assert setup.chosen_estimator(sink, AREA.name).name == \
+            "sink-area"
+
+    def test_set_requires_criterion_object(self):
+        setup = SetupController()
+        with pytest.raises(SetupError):
+            setup.set(AREA, "max-accuracy")
+
+    def test_apply_without_criteria_rejected(self):
+        circuit, _s, _k = instrumented_circuit()
+        with pytest.raises(SetupError, match="no criteria"):
+            SetupController().apply(circuit)
+
+    def test_null_fallback_with_warning(self):
+        circuit, source, _sink = instrumented_circuit()
+        setup = SetupController()
+        setup.set(AVERAGE_POWER, MaxAccuracy())  # nobody has one
+        setup.apply(circuit)
+        assert isinstance(
+            setup.chosen_estimator(source, AVERAGE_POWER.name),
+            NullEstimator)
+        assert any("null estimator" in warning
+                   for warning in setup.warnings)
+
+    def test_apply_to_single_module(self):
+        _circuit, source, sink = instrumented_circuit()
+        setup = SetupController()
+        setup.set(AREA, MaxAccuracy())
+        setup.apply(source)
+        assert setup.chosen_estimator(source, AREA.name) is not None
+        assert setup.chosen_estimator(sink, AREA.name) is None
+
+    def test_apply_to_composite_is_hierarchical(self):
+        inner = ModuleSkeleton("inner")
+        inner.add_port("i", PortDirection.IN)
+        inner.add_estimator(ConstantEstimator(AREA.name, 1.0,
+                                              name="inner-area"))
+        composite = CompositeModule(inner, name="comp")
+        setup = SetupController()
+        setup.set(AREA, MaxAccuracy())
+        setup.apply(composite)
+        assert setup.chosen_estimator(inner, AREA.name).name == \
+            "inner-area"
+
+
+class TestEvaluation:
+    def test_results_collected_per_instant(self):
+        circuit, _source, _sink = instrumented_circuit()
+        setup = SetupController()
+        setup.set(AREA, ByName("big-area"))
+        setup.apply(circuit)
+        controller = SimulationController(circuit, setup=setup)
+        controller.start()
+        assert setup.results.series("IN", AREA.name) == [100.0] * 3
+
+    def test_two_setups_on_one_design(self):
+        """Each module keeps a hash table keyed by setup controller, so
+        different setups choose independently."""
+        circuit, source, _sink = instrumented_circuit()
+        accurate = SetupController(name="accurate")
+        accurate.set(AREA, MaxAccuracy())
+        accurate.apply(circuit)
+        cheap = SetupController(name="cheap")
+        cheap.set(AREA, ByName("small-area"))
+        cheap.apply(circuit)
+        assert accurate.chosen_estimator(source, AREA.name).name == \
+            "big-area"
+        assert cheap.chosen_estimator(source, AREA.name).name == \
+            "small-area"
+
+        for setup in (accurate, cheap):
+            controller = SimulationController(circuit, setup=setup)
+            controller.start()
+        assert accurate.results.series("IN", AREA.name)[0] == 100.0
+        assert cheap.results.series("IN", AREA.name)[0] == 90.0
+
+    def test_latest_and_total(self):
+        circuit, _source, _sink = instrumented_circuit()
+        setup = SetupController()
+        setup.set(AREA, MaxAccuracy())
+        setup.apply(circuit)
+        SimulationController(circuit, setup=setup).start()
+        latest = setup.results.latest("IN", AREA.name)
+        assert latest.value == 100.0
+        # total = latest per module, summed: IN(100) + OUT(5).
+        assert setup.results.total(AREA.name) == 105.0
+
+    def test_clear(self):
+        circuit, _source, _sink = instrumented_circuit()
+        setup = SetupController()
+        setup.set(AREA, MaxAccuracy())
+        setup.apply(circuit)
+        SimulationController(circuit, setup=setup).start()
+        setup.results.clear()
+        assert setup.results.records == ()
+
+
+class TestAggregation:
+    def test_design_metric_additive(self):
+        circuit, _source, _sink = instrumented_circuit()
+        setup = SetupController()
+        setup.set(AREA, MaxAccuracy())
+        setup.apply(circuit)
+        estimate_static(circuit, setup)
+        assert design_metric(setup.results, AREA) == 105.0
+
+    def test_design_metric_non_additive_takes_max(self):
+        from repro.estimation import DELAY
+        circuit, source, sink = instrumented_circuit()
+        source.add_estimator(ConstantEstimator(DELAY.name, 7.0,
+                                               name="d1"))
+        sink.add_estimator(ConstantEstimator(DELAY.name, 3.0, name="d2"))
+        setup = SetupController()
+        setup.set(DELAY, MaxAccuracy())
+        setup.apply(circuit)
+        estimate_static(circuit, setup)
+        assert design_metric(setup.results, DELAY) == 7.0
+
+    def test_design_metric_none_without_data(self):
+        setup = SetupController()
+        assert design_metric(setup.results, AREA) is None
+
+    def test_estimate_static_needs_no_simulation(self):
+        """Static estimation: one sweep, no functional events."""
+        circuit, _source, _sink = instrumented_circuit()
+        setup = SetupController()
+        setup.set(AREA, MaxAccuracy())
+        setup.apply(circuit)
+        results = estimate_static(circuit, setup)
+        assert len(results.for_parameter(AREA.name)) == 2

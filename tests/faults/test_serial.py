@@ -1,0 +1,109 @@
+"""The flat serial fault simulator (baseline) and coverage reports."""
+
+import random
+
+import pytest
+
+from repro.core import Logic
+from repro.faults import (CoverageSummary, SerialFaultSimulator,
+                          build_fault_list, expand_coverage)
+from repro.gates import Netlist, ip1_block
+
+
+def and_gate():
+    netlist = Netlist("and2")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_output("o")
+    netlist.add_gate("AND", ["a", "b"], "o")
+    netlist.validate()
+    return netlist
+
+
+ALL_AND_PATTERNS = [
+    {"a": Logic(a), "b": Logic(b)} for a in (0, 1) for b in (0, 1)]
+
+
+class TestSerialSimulation:
+    def test_exhaustive_patterns_reach_full_coverage(self):
+        simulator = SerialFaultSimulator(and_gate())
+        report = simulator.run(ALL_AND_PATTERNS)
+        assert report.coverage == 1.0
+
+    def test_single_pattern_detections(self):
+        # Pattern (1,1): output fault-free 1; detects any fault forcing
+        # the output to 0: asa0 (== osa0 class) and bsa0.
+        simulator = SerialFaultSimulator(and_gate())
+        report = simulator.run([{"a": Logic.ONE, "b": Logic.ONE}])
+        detected_members = set()
+        for name in report.detected:
+            detected_members |= {
+                f.name for f in simulator.fault_list.class_of(name)}
+        assert {"asa0", "bsa0", "osa0"} <= detected_members
+        assert "osa1" not in detected_members
+
+    def test_detects_helper(self):
+        simulator = SerialFaultSimulator(and_gate(),
+                                         build_fault_list(and_gate(),
+                                                          "none"))
+        assert simulator.detects({"a": Logic.ONE, "b": Logic.ONE},
+                                 "asa0")
+        assert not simulator.detects({"a": Logic.ZERO, "b": Logic.ZERO},
+                                     "asa0")
+
+    def test_fault_dropping_records_first_pattern(self):
+        simulator = SerialFaultSimulator(and_gate())
+        report = simulator.run(ALL_AND_PATTERNS)
+        for name, index in report.detected.items():
+            # Once detected, never re-reported.
+            later = [i for i, newly in enumerate(report.per_pattern)
+                     if name in newly]
+            assert later == [index]
+
+    def test_no_dropping_re_detects(self):
+        simulator = SerialFaultSimulator(and_gate())
+        patterns = [{"a": Logic.ONE, "b": Logic.ONE}] * 3
+        report = simulator.run(patterns, drop_detected=False)
+        assert report.per_pattern[0] == report.per_pattern[2]
+
+    def test_coverage_history_is_monotone(self):
+        rng = random.Random(0)
+        netlist = ip1_block()
+        simulator = SerialFaultSimulator(netlist)
+        patterns = [{"IIP1": Logic(rng.getrandbits(1)),
+                     "IIP2": Logic(rng.getrandbits(1))}
+                    for _ in range(10)]
+        history = simulator.run(patterns).coverage_history()
+        assert history == sorted(history)
+        assert len(history) == 10
+
+    def test_undetected_listing(self):
+        simulator = SerialFaultSimulator(and_gate())
+        report = simulator.run([{"a": Logic.ZERO, "b": Logic.ZERO}])
+        undetected = report.undetected(simulator.fault_list.names())
+        assert set(undetected) | set(report.detected) == \
+            set(simulator.fault_list.names())
+
+
+class TestCoverageExpansion:
+    def test_expand_collapsed_to_universe(self):
+        netlist = ip1_block()
+        fault_list = build_fault_list(netlist, collapse="equivalence")
+        simulator = SerialFaultSimulator(netlist, fault_list)
+        patterns = [{"IIP1": Logic(a), "IIP2": Logic(b)}
+                    for a in (0, 1) for b in (0, 1)]
+        report = simulator.run(patterns)
+        summary = expand_coverage(report, fault_list)
+        assert isinstance(summary, CoverageSummary)
+        assert summary.total_universe == 36
+        assert summary.detected_universe >= summary.detected_collapsed
+        assert 0 < summary.universe <= 1.0
+
+    def test_empty_report(self):
+        netlist = and_gate()
+        fault_list = build_fault_list(netlist)
+        simulator = SerialFaultSimulator(netlist, fault_list)
+        report = simulator.run([])
+        summary = expand_coverage(report, fault_list)
+        assert summary.detected_universe == 0
+        assert summary.collapsed == 0.0

@@ -1,0 +1,93 @@
+"""Netlist analysis: cones, arrival times, critical path, stats."""
+
+import pytest
+
+from repro.core.errors import DesignError
+from repro.gates import (Netlist, arrival_times, c17, critical_path,
+                         fanin_cone, fanout_cone, netlist_stats,
+                         ripple_carry_adder, support)
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return c17()
+
+
+class TestCones:
+    def test_fanin_cone_of_output(self, netlist):
+        cone = fanin_cone(netlist, "22")
+        assert cone == {"22", "10", "16", "11", "1", "2", "3", "6"}
+        assert "7" not in cone  # 7 only feeds 19/23
+
+    def test_fanout_cone_of_input(self, netlist):
+        cone = fanout_cone(netlist, "7")
+        assert cone == {"7", "19", "23"}
+
+    def test_cones_are_reflexive(self, netlist):
+        assert "11" in fanin_cone(netlist, "11")
+        assert "11" in fanout_cone(netlist, "11")
+
+    def test_unknown_net_rejected(self, netlist):
+        with pytest.raises(DesignError):
+            fanin_cone(netlist, "ghost")
+        with pytest.raises(DesignError):
+            fanout_cone(netlist, "ghost")
+
+    def test_support(self, netlist):
+        assert support(netlist, "22") == ("1", "2", "3", "6")
+        assert support(netlist, "1") == ("1",)
+
+    def test_cone_duality(self, netlist):
+        """b in fanout(a)  <=>  a in fanin(b)."""
+        nets = netlist.nets()
+        for a in nets:
+            for b in fanout_cone(netlist, a):
+                assert a in fanin_cone(netlist, b)
+
+
+class TestTiming:
+    def test_arrival_times_monotone_along_paths(self, netlist):
+        arrivals = arrival_times(netlist)
+        for gate in netlist.gates:
+            for source in gate.inputs:
+                assert arrivals[gate.output] > arrivals[source]
+
+    def test_inputs_arrive_at_zero(self, netlist):
+        arrivals = arrival_times(netlist)
+        assert all(arrivals[net] == 0.0 for net in netlist.inputs)
+
+    def test_critical_path_ends_at_worst_output(self, netlist):
+        path = critical_path(netlist)
+        arrivals = arrival_times(netlist)
+        assert path[0] in netlist.inputs
+        assert path[-1] in netlist.outputs
+        assert arrivals[path[-1]] == pytest.approx(
+            netlist.critical_path_delay())
+
+    def test_critical_path_is_connected(self, netlist):
+        path = critical_path(netlist)
+        for upstream, downstream in zip(path, path[1:]):
+            driver = netlist.driver_of(downstream)
+            assert driver is not None and upstream in driver.inputs
+
+    def test_path_length_tracks_depth(self):
+        path = critical_path(ripple_carry_adder(6))
+        assert len(path) >= ripple_carry_adder(6).depth()
+
+
+class TestStats:
+    def test_c17_summary(self, netlist):
+        stats = netlist_stats(netlist)
+        assert stats.gates == 6
+        assert stats.inputs == 5 and stats.outputs == 2
+        assert stats.cell_histogram == (("NAND", 6),)
+        assert stats.depth == 3
+        assert stats.max_fanout >= 2
+        assert "NANDx6" in str(stats)
+
+    def test_adder_histogram(self):
+        stats = netlist_stats(ripple_carry_adder(4))
+        cells = dict(stats.cell_histogram)
+        assert cells["XOR"] > 0 and cells["AND"] > 0
+        assert stats.area == pytest.approx(
+            ripple_carry_adder(4).area())

@@ -1,0 +1,81 @@
+"""Standard-cell library: truth tables and metadata."""
+
+import pytest
+
+from repro.core.signal import Logic
+from repro.gates import CELLS, CellType, cell
+
+
+class TestLookup:
+    def test_all_cells_present(self):
+        assert set(CELLS) == {"AND", "OR", "NAND", "NOR", "XOR", "XNOR",
+                              "NOT", "BUF"}
+
+    def test_case_insensitive(self):
+        assert cell("nand") is CELLS["NAND"]
+
+    def test_unknown_cell(self):
+        with pytest.raises(KeyError):
+            cell("MAJ3")
+
+
+class TestArity:
+    def test_unary_cells(self):
+        assert cell("NOT").check_arity(1)
+        assert not cell("NOT").check_arity(2)
+        assert cell("BUF").check_arity(1)
+
+    def test_variadic_cells(self):
+        for name in ("AND", "OR", "NAND", "NOR", "XOR", "XNOR"):
+            assert not cell(name).check_arity(1)
+            assert cell(name).check_arity(2)
+            assert cell(name).check_arity(5)
+
+
+TRUTH = {
+    "AND": lambda a, b: a and b,
+    "OR": lambda a, b: a or b,
+    "NAND": lambda a, b: not (a and b),
+    "NOR": lambda a, b: not (a or b),
+    "XOR": lambda a, b: a != b,
+    "XNOR": lambda a, b: a == b,
+}
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("name", sorted(TRUTH))
+    @pytest.mark.parametrize("a", [0, 1])
+    @pytest.mark.parametrize("b", [0, 1])
+    def test_binary_truth_tables(self, name, a, b):
+        expected = Logic.from_bool(TRUTH[name](bool(a), bool(b)))
+        assert cell(name).evaluate(Logic(a), Logic(b)) is expected
+
+    def test_unary_cells(self):
+        assert cell("NOT").evaluate(Logic.ONE) is Logic.ZERO
+        assert cell("BUF").evaluate(Logic.ZERO) is Logic.ZERO
+
+    @pytest.mark.parametrize("name", sorted(CELLS))
+    def test_z_treated_as_x(self, name):
+        cell_type = cell(name)
+        args = [Logic.Z] * (cell_type.arity or 2)
+        assert cell_type.evaluate(*args) in (Logic.X, Logic.ZERO,
+                                             Logic.ONE)
+        assert cell_type.evaluate(*args) is not Logic.Z
+
+
+class TestMetadata:
+    def test_inverting_flags(self):
+        assert cell("NAND").inverting and cell("NOT").inverting
+        assert not cell("AND").inverting and not cell("BUF").inverting
+
+    def test_positive_physical_data(self):
+        for cell_type in CELLS.values():
+            assert cell_type.area > 0
+            assert cell_type.delay > 0
+            assert cell_type.energy > 0
+
+    def test_nand_cheaper_than_and(self):
+        # CMOS reality the numbers should reflect: the NAND is the
+        # cheapest two-input cell.
+        assert cell("NAND").area <= cell("AND").area
+        assert cell("NAND").delay < cell("AND").delay

@@ -1,0 +1,136 @@
+"""Netlists and single gates as backplane modules."""
+
+import pytest
+
+from repro.core import (BitConnector, Circuit, DesignError, Logic,
+                        PatternPrimaryInput, PrimaryOutput,
+                        SimulationController, Word, WordConnector)
+from repro.gates import (GateLevelModule, LogicGateModule,
+                         NetlistSimulator, ripple_carry_adder)
+
+
+def adder_module(width=4, **kwargs):
+    netlist = ripple_carry_adder(width)
+    return netlist, GateLevelModule(
+        netlist,
+        input_map={"a": [f"a{i}" for i in range(width)],
+                   "b": [f"b{i}" for i in range(width)]},
+        output_map={"s": [f"s{i}" for i in range(width + 1)]},
+        name="GLADD", **kwargs)
+
+
+class TestGateLevelModule:
+    def test_word_level_addition(self):
+        width = 4
+        a, b = WordConnector(width), WordConnector(width)
+        s = WordConnector(width + 1)
+        netlist, adder = adder_module(width)
+        a.attach(adder.port("a"))
+        b.attach(adder.port("b"))
+        s.attach(adder.port("s"))
+        ina = PatternPrimaryInput(width, [3, 9, 15], a, name="INA")
+        inb = PatternPrimaryInput(width, [5, 9, 15], b, name="INB")
+        out = PrimaryOutput(width + 1, s, name="OUT")
+        controller = SimulationController(Circuit(ina, inb, adder, out))
+        controller.start()
+        values = [v.value for _t, v in out.trace(controller.context)
+                  if v.known]
+        assert values[-1] == 30
+        assert 8 in values and 18 in values
+
+    def test_input_map_must_cover_inputs(self):
+        netlist = ripple_carry_adder(2)
+        with pytest.raises(DesignError, match="input map"):
+            GateLevelModule(netlist, {"a": ["a0", "a1"]},
+                            {"s": ["s0", "s1", "s2"]})
+
+    def test_output_map_must_use_primary_outputs(self):
+        netlist = ripple_carry_adder(2)
+        with pytest.raises(DesignError):
+            GateLevelModule(
+                netlist,
+                {"a": ["a0", "a1"], "b": ["b0", "b1"]},
+                {"s": ["fa0_s"]})  # internal net, not a primary output
+
+    def test_energy_trace_accumulates(self):
+        width = 4
+        a, b = WordConnector(width), WordConnector(width)
+        s = WordConnector(width + 1)
+        _netlist, adder = adder_module(width, connectors=None)
+        a.attach(adder.port("a"))
+        b.attach(adder.port("b"))
+        s.attach(adder.port("s"))
+        ina = PatternPrimaryInput(width, [0, 15, 0, 15], a, name="INA")
+        inb = PatternPrimaryInput(width, [0, 15, 0, 15], b, name="INB")
+        out = PrimaryOutput(width + 1, s, name="OUT")
+        controller = SimulationController(Circuit(ina, inb, adder, out))
+        controller.start()
+        assert adder.total_energy(controller.context) > 0
+        trace = adder.energy_trace(controller.context)
+        assert len(trace) > 0
+
+    def test_per_scheduler_engines_are_isolated(self):
+        width = 2
+        a, b = WordConnector(width), WordConnector(width)
+        s = WordConnector(width + 1)
+        _netlist, adder = adder_module(width)
+        a.attach(adder.port("a"))
+        b.attach(adder.port("b"))
+        s.attach(adder.port("s"))
+        ina = PatternPrimaryInput(width, [1], a, name="INA")
+        inb = PatternPrimaryInput(width, [2], b, name="INB")
+        out = PrimaryOutput(width + 1, s, name="OUT")
+        circuit = Circuit(ina, inb, adder, out)
+        first = SimulationController(circuit)
+        second = SimulationController(circuit)
+        first.start()
+        second.start()
+        assert out.last_value(first.context) == \
+            out.last_value(second.context) == Word(3, width + 1)
+        # Independent engines, independent energy traces.
+        assert len(adder.energy_trace(first.context)) == \
+            len(adder.energy_trace(second.context))
+
+    def test_provider_side_net_view(self):
+        width = 2
+        a, b = WordConnector(width), WordConnector(width)
+        s = WordConnector(width + 1)
+        _netlist, adder = adder_module(width)
+        a.attach(adder.port("a"))
+        b.attach(adder.port("b"))
+        s.attach(adder.port("s"))
+        ina = PatternPrimaryInput(width, [3], a, name="INA")
+        inb = PatternPrimaryInput(width, [1], b, name="INB")
+        out = PrimaryOutput(width + 1, s, name="OUT")
+        controller = SimulationController(Circuit(ina, inb, adder, out))
+        controller.start()
+        values = adder.net_values(controller.context)
+        assert values["a0"] is Logic.ONE and values["a1"] is Logic.ONE
+        assert values["b0"] is Logic.ONE and values["b1"] is Logic.ZERO
+
+
+class TestLogicGateModule:
+    def test_single_gate(self):
+        a, b, o = BitConnector(), BitConnector(), BitConnector()
+        ina = PatternPrimaryInput(1, [1], a, name="INA")
+        inb = PatternPrimaryInput(1, [1], b, name="INB")
+        gate = LogicGateModule("NAND", [a, b], o, name="G")
+        out = PrimaryOutput(1, o, name="OUT")
+        controller = SimulationController(Circuit(ina, inb, gate, out))
+        controller.start()
+        assert out.last_value(controller.context) is Logic.ZERO
+
+    def test_arity_validation(self):
+        with pytest.raises(DesignError):
+            LogicGateModule("NOT", [BitConnector(), BitConnector()])
+
+    def test_chained_gates_settle(self):
+        a, n1, n2 = BitConnector(), BitConnector(), BitConnector()
+        ina = PatternPrimaryInput(1, [0, 1], a, name="INA")
+        inv1 = LogicGateModule("NOT", [a], n1, name="G1")
+        inv2 = LogicGateModule("NOT", [n1], n2, name="G2")
+        out = PrimaryOutput(1, n2, name="OUT")
+        controller = SimulationController(Circuit(ina, inv1, inv2, out))
+        controller.start()
+        values = [v for _t, v in out.trace(controller.context)]
+        assert values == [Logic.ZERO, Logic.ONE]

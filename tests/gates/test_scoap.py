@@ -1,0 +1,150 @@
+"""SCOAP controllability/observability analysis."""
+
+import pytest
+
+from repro.core.errors import DesignError
+from repro.gates import (INFINITY, Netlist, ScoapAnalysis, c17,
+                         parity_tree, ripple_carry_adder)
+
+
+def single_gate(cell):
+    netlist = Netlist(f"one-{cell}")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_output("o")
+    netlist.add_gate(cell, ["a", "b"], "o")
+    netlist.validate()
+    return netlist
+
+
+class TestControllability:
+    def test_primary_inputs_cost_one(self):
+        analysis = ScoapAnalysis(single_gate("AND"))
+        numbers = analysis.numbers("a")
+        assert numbers.cc0 == 1 and numbers.cc1 == 1
+
+    def test_and_gate(self):
+        analysis = ScoapAnalysis(single_gate("AND"))
+        out = analysis.numbers("o")
+        assert out.cc0 == 2      # one controlling 0 + 1
+        assert out.cc1 == 3      # both inputs at 1 + 1
+
+    def test_or_gate(self):
+        analysis = ScoapAnalysis(single_gate("OR"))
+        out = analysis.numbers("o")
+        assert out.cc1 == 2 and out.cc0 == 3
+
+    def test_nand_swaps_polarities(self):
+        and_out = ScoapAnalysis(single_gate("AND")).numbers("o")
+        nand_out = ScoapAnalysis(single_gate("NAND")).numbers("o")
+        assert nand_out.cc0 == and_out.cc1
+        assert nand_out.cc1 == and_out.cc0
+
+    def test_xor_parity_dp(self):
+        analysis = ScoapAnalysis(single_gate("XOR"))
+        out = analysis.numbers("o")
+        # 0: both equal (1+1)+1; 1: one high one low (1+1)+1.
+        assert out.cc0 == 3 and out.cc1 == 3
+
+    def test_inverter_chain_costs_accumulate(self):
+        netlist = Netlist("chain")
+        netlist.add_input("a")
+        netlist.add_gate("NOT", ["a"], "n1")
+        netlist.add_output("o")
+        netlist.add_gate("NOT", ["n1"], "o")
+        netlist.validate()
+        analysis = ScoapAnalysis(netlist)
+        assert analysis.numbers("o").cc0 == 3  # through two inverters
+
+    def test_wider_parity_is_harder_to_control(self):
+        # Every input of a parity tree participates in the output value,
+        # so controllability grows with width (unlike an adder's carry,
+        # where SCOAP's min-path rule finds a depth-independent set).
+        narrow = ScoapAnalysis(parity_tree(2))
+        wide = ScoapAnalysis(parity_tree(8))
+        assert wide.numbers("par").cc1 > narrow.numbers("par").cc1
+        assert wide.numbers("par").cc0 > narrow.numbers("par").cc0
+
+
+class TestObservability:
+    def test_primary_outputs_cost_zero(self):
+        analysis = ScoapAnalysis(single_gate("AND"))
+        assert analysis.numbers("o").co == 0
+
+    def test_and_input_observability(self):
+        analysis = ScoapAnalysis(single_gate("AND"))
+        # Observe a through the AND: set b=1 (cc1=1) + 1.
+        assert analysis.numbers("a").co == 2
+
+    def test_unobservable_net_is_infinite(self):
+        netlist = Netlist("dangling")
+        netlist.add_input("a")
+        netlist.add_output("o")
+        netlist.add_gate("BUF", ["a"], "o")
+        netlist.add_gate("NOT", ["a"], "dead")  # drives nothing
+        netlist.validate()
+        analysis = ScoapAnalysis(netlist)
+        assert analysis.numbers("dead").co == INFINITY
+
+    def test_fanout_takes_cheapest_path(self):
+        netlist = Netlist("fan")
+        netlist.add_input("a")
+        netlist.add_input("g")
+        netlist.add_output("o1")
+        netlist.add_gate("BUF", ["a"], "o1")          # cheap path
+        netlist.add_output("o2")
+        netlist.add_gate("AND", ["a", "g"], "o2")     # costlier path
+        netlist.validate()
+        analysis = ScoapAnalysis(netlist)
+        assert analysis.numbers("a").co == 1  # through the buffer
+
+
+class TestSummaries:
+    def test_testability_combines_cc_and_co(self):
+        analysis = ScoapAnalysis(single_gate("AND"))
+        a = analysis.numbers("a")
+        assert a.testability_0 == a.cc0 + a.co
+        assert a.testability_1 == a.cc1 + a.co
+
+    def test_hardest_fault_on_c17(self):
+        analysis = ScoapAnalysis(c17())
+        net, effort = analysis.hardest_fault()
+        assert net in c17().nets()
+        assert 0 < effort < INFINITY
+
+    def test_boundary_summary_is_publishable(self):
+        """Port-level SCOAP numbers marshal over RMI (plain dicts)."""
+        from repro.rmi import marshal, unmarshal
+        analysis = ScoapAnalysis(parity_tree(4))
+        summary = analysis.boundary_summary()
+        assert set(summary) == set(parity_tree(4).inputs) | \
+            set(parity_tree(4).outputs)
+        assert unmarshal(marshal(summary)) == summary
+
+    def test_unknown_net_rejected(self):
+        with pytest.raises(DesignError):
+            ScoapAnalysis(c17()).numbers("ghost")
+
+    def test_scoap_correlates_with_random_pattern_difficulty(self):
+        """Sanity: the hardest SCOAP fault on the adder is also among
+        the last detected by random patterns (weak but meaningful)."""
+        import random
+        from repro.core.signal import Logic
+        from repro.faults import SerialFaultSimulator, build_fault_list
+
+        netlist = ripple_carry_adder(4)
+        analysis = ScoapAnalysis(netlist)
+        efforts = {net: max(analysis.numbers(net).testability_0,
+                            analysis.numbers(net).testability_1)
+                   for net in netlist.nets()}
+        hard_nets = sorted(efforts, key=efforts.get)[-5:]
+
+        rng = random.Random(2)
+        patterns = [{net: Logic(rng.getrandbits(1))
+                     for net in netlist.inputs} for _ in range(40)]
+        report = SerialFaultSimulator(
+            netlist, build_fault_list(netlist, "none")).run(patterns)
+        late = {name for name, index in report.detected.items()
+                if index >= 3}
+        assert any(any(name.startswith(net) for name in late)
+                   for net in hard_nets)

@@ -1,0 +1,85 @@
+"""The repro-bench command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.gates.io import C17_BENCH
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.command == "table1"
+        for command in ("table2", "figure3", "figure4"):
+            assert parser.parse_args([command]).command == command
+
+    def test_faultsim_arguments(self):
+        args = build_parser().parse_args(
+            ["faultsim", "x.bench", "--patterns", "10", "--collapse",
+             "dominance", "--history"])
+        assert args.netlist == "x.bench"
+        assert args.patterns == 10
+        assert args.collapse == "dominance"
+        assert args.history
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_figure4(self, capsys):
+        assert main(["figure4"]) == 0
+        out = capsys.readouterr().out
+        assert "I6sa1" in out
+        assert "1100 detects I3sa0: False" in out
+        assert "1101 detects I3sa0: True" in out
+
+    def test_table1_small(self, capsys):
+        assert main(["table1", "--width", "4", "--patterns", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "gate-level-toggle" in out
+        assert "constant-power" in out
+
+    def test_faultsim_on_c17(self, tmp_path, capsys):
+        bench = tmp_path / "c17.bench"
+        bench.write_text(C17_BENCH)
+        assert main(["faultsim", str(bench), "--patterns", "32",
+                     "--history"]) == 0
+        out = capsys.readouterr().out
+        assert "6 gates" in out
+        assert "coverage" in out
+
+    def test_faultsim_no_collapse(self, tmp_path, capsys):
+        bench = tmp_path / "c17.bench"
+        bench.write_text(C17_BENCH)
+        assert main(["faultsim", str(bench), "--collapse", "none",
+                     "--patterns", "16"]) == 0
+        assert "faults" in capsys.readouterr().out
+
+    def test_all_quick(self, capsys):
+        assert main(["all", "--quick"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Table 1", "Table 2", "Figure 3",
+                       "Figures 4-5", "gate-level-toggle"):
+            assert marker in out
+
+    def test_scoap_on_c17(self, tmp_path, capsys):
+        bench = tmp_path / "c17.bench"
+        bench.write_text(C17_BENCH)
+        assert main(["scoap", str(bench), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out
+        assert "CC0" in out and "CO" in out
+        assert "6 gates" in out
+
+    def test_atpg_on_c17(self, tmp_path, capsys):
+        bench = tmp_path / "c17.bench"
+        bench.write_text(C17_BENCH)
+        assert main(["atpg", str(bench), "--random-patterns", "4",
+                     "--show-patterns"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage 100.0%" in out
+        assert "SCOAP hardest site" in out
+        assert "patterns (" in out

@@ -1,0 +1,51 @@
+"""Every example script runs to completion (the quickstart contract)."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "provider catalog: ['MultFastLowPower']" in out
+        assert "simulated 100 patterns" in out
+        assert "estimation fees" in out
+
+    def test_virtual_fault_simulation(self, capsys):
+        out = run_example("virtual_fault_simulation.py", capsys)
+        assert "pattern 1100 detects I3sa0: False" in out
+        assert "pattern 1101 detects I3sa0: True" in out
+        assert "virtual == flat serial baseline: True" in out
+
+    def test_ip_marketplace(self, capsys):
+        out = run_example("ip_marketplace.py", capsys)
+        assert "budget cap enforced" in out
+        assert "marshaller refused a netlist" in out
+        assert "verifies with the right key : True" in out
+        assert "verifies with a wrong key   : False" in out
+
+    def test_concurrent_simulations(self, capsys):
+        out = run_example("concurrent_simulations.py", capsys)
+        assert "mixed-level run" in out
+        assert "schedulers never interfered" in out
+
+    def test_dsp_stream_ip(self, capsys):
+        out = run_example("dsp_stream_ip.py", capsys)
+        assert "matches a local reference filter exactly" in out
+        assert "coefficients stay secret" in out
+
+    def test_testability_economy(self, capsys):
+        out = run_example("testability_economy.py", capsys)
+        assert "SCOAP boundary summary" in out
+        assert "vault preview" in out
+        assert "matches full-knowledge sequential baseline: True" in out

@@ -1,0 +1,170 @@
+"""Several IP blocks from independent providers in one design.
+
+The paper's Figure 1 shows a design under development pulling
+components from two IP providers.  Here two protected blocks sit in one
+fault-simulated design -- fault effects of the first block propagate
+*through the public functional model* of the second -- and the virtual
+protocol must still match the flat full-knowledge baseline exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import PublicFunctionalModel, functional_model_of
+from repro.core import (BitConnector, Circuit, Logic, PrimaryOutput)
+from repro.faults import (FaultList, IPBlockClient, SerialFaultSimulator,
+                          TestabilityServant, VirtualFaultSimulator,
+                          build_fault_list, expand_composed_coverage,
+                          reports_agree)
+from repro.gates import LogicGateModule, Netlist
+
+
+def prefixed_half_adder(prefix):
+    """A NAND half adder with prefixed internal net names."""
+    netlist = Netlist(prefix)
+    a = netlist.add_input(f"{prefix}a")
+    b = netlist.add_input(f"{prefix}b")
+    n = {i: f"{prefix}n{i}" for i in range(1, 5)}
+    netlist.add_gate("NAND", [a, b], n[1], name=f"{prefix}g1")
+    netlist.add_gate("NAND", [a, n[1]], n[2], name=f"{prefix}g2")
+    netlist.add_gate("NAND", [b, n[1]], n[3], name=f"{prefix}g3")
+    netlist.add_output(f"{prefix}sum")
+    netlist.add_gate("NAND", [n[2], n[3]], f"{prefix}sum",
+                     name=f"{prefix}g4")
+    netlist.add_output(f"{prefix}carry")
+    netlist.add_gate("AND", [a, b], f"{prefix}carry",
+                     name=f"{prefix}g5")
+    netlist.validate()
+    return netlist
+
+
+def internal_fault_list(netlist):
+    full = build_fault_list(netlist, collapse="none")
+    names = [name for name in full.names()
+             if full.fault(name).net not in netlist.inputs]
+    return FaultList(netlist.name,
+                     {name: full.fault(name) for name in names})
+
+
+@pytest.fixture
+def two_block_design():
+    """x,y,z -> blockA(x,y) -> blockB(sumA, z) -> POs (sumB, carryA|carryB)."""
+    block_a = prefixed_half_adder("A_")
+    block_b = prefixed_half_adder("B_")
+    faults_a = internal_fault_list(block_a)
+    faults_b = internal_fault_list(block_b)
+    servant_a = TestabilityServant(block_a, faults_a)
+    servant_b = TestabilityServant(block_b, faults_b)
+
+    x, y, z = BitConnector("x"), BitConnector("y"), BitConnector("z")
+    sum_a, carry_a = BitConnector("sumA"), BitConnector("carryA")
+    sum_b, carry_b = BitConnector("sumB"), BitConnector("carryB")
+    carries = BitConnector("carries")
+
+    module_a = PublicFunctionalModel(
+        ["A_a", "A_b"], ["A_sum", "A_carry"],
+        functional_model_of(block_a),
+        {"A_a": x, "A_b": y, "A_sum": sum_a, "A_carry": carry_a},
+        name="IPA")
+    module_b = PublicFunctionalModel(
+        ["B_a", "B_b"], ["B_sum", "B_carry"],
+        functional_model_of(block_b),
+        {"B_a": sum_a, "B_b": z, "B_sum": sum_b, "B_carry": carry_b},
+        name="IPB")
+    or_gate = LogicGateModule("OR", [carry_a, carry_b], carries,
+                              name="gOR")
+    po1 = PrimaryOutput(1, sum_b, name="PO1")
+    po2 = PrimaryOutput(1, carries, name="PO2")
+    circuit = Circuit(module_a, module_b, or_gate, po1, po2,
+                      name="two-ip")
+
+    virtual = VirtualFaultSimulator(
+        circuit, {"x": x, "y": y, "z": z},
+        {"sumB": sum_b, "carries": carries},
+        [IPBlockClient(module_a, servant_a, name="IPA"),
+         IPBlockClient(module_b, servant_b, name="IPB")])
+
+    # Flat full-knowledge equivalent.
+    flat = Netlist("two-ip-flat")
+    for net in ("x", "y", "z"):
+        flat.add_input(net)
+    for gate in block_a.gates:
+        inputs = [{"A_a": "x", "A_b": "y"}.get(s, s)
+                  for s in gate.inputs]
+        flat.add_gate(gate.cell.name, inputs, gate.output,
+                      name=gate.name)
+    for gate in block_b.gates:
+        inputs = [{"B_a": "A_sum", "B_b": "z"}.get(s, s)
+                  for s in gate.inputs]
+        flat.add_gate(gate.cell.name, inputs, gate.output,
+                      name=gate.name)
+    flat.add_output("sumB")
+    flat.add_gate("BUF", ["B_sum"], "sumB", name="gsb")
+    flat.add_output("carries")
+    flat.add_gate("OR", ["A_carry", "B_carry"], "carries", name="gOR")
+    flat.validate()
+    combined = FaultList("flat", {
+        **{f"IPA:{n}": faults_a.fault(n) for n in faults_a.names()},
+        **{f"IPB:{n}": faults_b.fault(n) for n in faults_b.names()},
+    })
+    serial = SerialFaultSimulator(flat, combined)
+    return virtual, serial, {"IPA": faults_a, "IPB": faults_b}
+
+
+class TestTwoProviders:
+    def test_fault_list_composition(self, two_block_design):
+        virtual, _serial, fault_lists = two_block_design
+        composed = virtual.build_fault_list()
+        assert len(composed) == sum(len(fl)
+                                    for fl in fault_lists.values())
+        assert any(name.startswith("IPA:") for name in composed)
+        assert any(name.startswith("IPB:") for name in composed)
+
+    def test_matches_flat_baseline(self, two_block_design):
+        virtual, serial, fault_lists = two_block_design
+        rng = random.Random(4)
+        patterns = [{"x": rng.getrandbits(1), "y": rng.getrandbits(1),
+                     "z": rng.getrandbits(1)} for _ in range(24)]
+        virtual_report = virtual.run(patterns)
+        serial_report = serial.run(
+            [{k: Logic(v) for k, v in p.items()} for p in patterns])
+        assert dict(virtual_report.detected) == \
+            dict(serial_report.detected)
+        # Both blocks contributed detections (effects of A crossed B).
+        assert any(name.startswith("IPA:")
+                   for name in virtual_report.detected)
+        assert any(name.startswith("IPB:")
+                   for name in virtual_report.detected)
+
+    def test_upstream_faults_cross_downstream_public_model(
+            self, two_block_design):
+        """A fault in block A is only observable at sumB through B's
+        *functional* model -- no structural knowledge of B needed."""
+        virtual, _serial, _fault_lists = two_block_design
+        patterns = [{"x": a, "y": b, "z": c}
+                    for a in (0, 1) for b in (0, 1) for c in (0, 1)]
+        report = virtual.run(patterns)
+        a_detected = [name for name in report.detected
+                      if name.startswith("IPA:")]
+        assert len(a_detected) >= 5
+
+    def test_composed_coverage_expansion(self, two_block_design):
+        virtual, _serial, fault_lists = two_block_design
+        patterns = [{"x": a, "y": b, "z": c}
+                    for a in (0, 1) for b in (0, 1) for c in (0, 1)]
+        report = virtual.run(patterns)
+        summary = expand_composed_coverage(report, fault_lists)
+        assert summary.total_collapsed == sum(
+            len(fl) for fl in fault_lists.values())
+        assert 0 < summary.collapsed <= 1.0
+
+    def test_per_block_caches_are_independent(self, two_block_design):
+        virtual, _serial, _fault_lists = two_block_design
+        patterns = [{"x": 1, "y": 1, "z": 0},
+                    {"x": 1, "y": 1, "z": 1}]
+        virtual.run(patterns)
+        client_a, client_b = virtual.ip_blocks
+        # A's inputs did not change between the patterns; B's did.
+        assert client_a.remote_table_fetches == 1
+        assert client_b.remote_table_fetches >= 1

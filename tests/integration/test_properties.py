@@ -1,0 +1,65 @@
+"""Property-based integration tests over randomly generated designs."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import build_embedded
+from repro.core import Logic
+from repro.faults import reports_agree
+from repro.gates import NetlistSimulator, random_netlist
+from repro.ip import embed_watermark, verify_watermark
+
+
+class TestVirtualEqualsSerialProperty:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 10_000),
+           pattern_seed=st.integers(0, 10_000))
+    def test_random_blocks_agree(self, seed, pattern_seed):
+        """For any embedded random IP block and any random test set, the
+        virtual protocol detects exactly what the flat baseline does."""
+        block = random_netlist(4, 14, 2, seed=seed)
+        experiment = build_embedded(block, block_name="IP")
+        patterns = experiment.random_patterns(10, seed=pattern_seed)
+        virtual = experiment.virtual.run(patterns)
+        serial = experiment.serial.run(
+            experiment.patterns_as_logic(patterns))
+        assert reports_agree(virtual, serial,
+                             rename=lambda q: q.split(":", 1)[1])
+
+
+class TestWatermarkProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000),
+           key=st.text(min_size=1, max_size=12),
+           stimulus=st.lists(st.integers(0, 2**5 - 1), min_size=1,
+                             max_size=5))
+    def test_watermark_never_changes_function(self, seed, key, stimulus):
+        netlist = random_netlist(5, 24, 3, seed=seed)
+        marked = embed_watermark(netlist, key=key, bits=4)
+        original_sim = NetlistSimulator(netlist)
+        marked_sim = NetlistSimulator(marked)
+        for word in stimulus:
+            inputs = {net: Logic((word >> i) & 1)
+                      for i, net in enumerate(netlist.inputs)}
+            assert original_sim.outputs(inputs) == \
+                marked_sim.outputs(inputs)
+        assert verify_watermark(marked, key, bits=4)
+
+
+class TestCoverageMonotonicityProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_more_patterns_never_reduce_coverage(self, seed):
+        block = random_netlist(4, 12, 2, seed=seed)
+        experiment = build_embedded(block, block_name="IP")
+        rng = random.Random(seed)
+        patterns = [{name: rng.getrandbits(1)
+                     for name in experiment.input_names}
+                    for _ in range(8)]
+        short = build_embedded(random_netlist(4, 12, 2, seed=seed),
+                               block_name="IP")
+        short_report = short.virtual.run(patterns[:4])
+        long_report = experiment.virtual.run(patterns)
+        assert set(short_report.detected) <= set(long_report.detected)

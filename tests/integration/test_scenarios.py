@@ -1,0 +1,97 @@
+"""Integration: the Figure 2 scenarios at reduced scale.
+
+The full Table 2 runs in benchmarks/; here the same machinery is
+exercised with fewer patterns, checking functional equivalence across
+AL/ER/MR and the headline timing orderings.
+"""
+
+import pytest
+
+from repro.bench import Figure2Design, run_scenario, shared_provider
+from repro.core import SimulationController
+from repro.ip import ProviderConnection
+from repro.net import LAN, LOCALHOST, WAN, VirtualClock
+
+WIDTH = 6
+PATTERNS = 12
+
+
+@pytest.fixture(scope="module")
+def provider():
+    return shared_provider(WIDTH)
+
+
+def products_for(mode, provider):
+    clock = VirtualClock()
+    connection = None
+    if mode != "AL":
+        connection = ProviderConnection(provider, LOCALHOST, clock=clock)
+    design = Figure2Design(mode, connection, width=WIDTH,
+                           patterns=PATTERNS)
+    circuit = design.build()
+    controller = SimulationController(circuit, clock=clock)
+    controller.start()
+    values = [v.value for _t, v in design.out.trace(controller.context)
+              if v.known]
+    controller.teardown()
+    return values
+
+
+class TestFunctionalEquivalence:
+    def test_all_three_scenarios_compute_identical_products(self,
+                                                            provider):
+        al = products_for("AL", provider)
+        er = products_for("ER", provider)
+        mr = products_for("MR", provider)
+        assert al == er == mr
+        assert len(al) >= PATTERNS  # every pattern produced a product
+
+
+class TestTimingShape:
+    def test_er_cpu_is_close_to_al(self, provider):
+        al = run_scenario("AL", LOCALHOST, width=WIDTH,
+                          patterns=PATTERNS)
+        er = run_scenario("ER", LOCALHOST, width=WIDTH,
+                          patterns=PATTERNS)
+        assert er.cpu <= al.cpu * 1.4
+
+    def test_mr_cpu_overhead_is_relevant(self, provider):
+        al = run_scenario("AL", LOCALHOST, width=WIDTH,
+                          patterns=PATTERNS)
+        mr = run_scenario("MR", LOCALHOST, width=WIDTH,
+                          patterns=PATTERNS)
+        assert mr.cpu >= al.cpu * 1.8
+
+    def test_er_real_time_grows_with_distance(self, provider):
+        results = [run_scenario("ER", network, width=WIDTH,
+                                patterns=PATTERNS)
+                   for network in (LOCALHOST, LAN, WAN)]
+        assert results[0].real < results[2].real
+        assert results[1].real < results[2].real
+
+    def test_remote_call_counts(self, provider):
+        er = run_scenario("ER", LOCALHOST, width=WIDTH,
+                          patterns=PATTERNS, buffer_size=4)
+        mr = run_scenario("MR", LOCALHOST, width=WIDTH,
+                          patterns=PATTERNS, buffer_size=4)
+        assert mr.remote_calls > er.remote_calls
+        # ER: ~patterns/buffer flush calls (+ catalog + fetch).
+        assert er.remote_calls <= PATTERNS // 4 + 4
+
+    def test_power_results_identical_er_vs_mr(self, provider):
+        er = run_scenario("ER", LOCALHOST, width=WIDTH,
+                          patterns=PATTERNS, collect_powers=True)
+        mr = run_scenario("MR", LOCALHOST, width=WIDTH,
+                          patterns=PATTERNS, collect_powers=True)
+        assert er.powers == pytest.approx(mr.powers)
+        assert len(er.powers) == PATTERNS
+
+
+class TestBufferSweepShape:
+    def test_buffering_amortizes(self, provider):
+        small = run_scenario("ER", WAN, width=WIDTH, patterns=PATTERNS,
+                             buffer_size=1, power_enabled=True)
+        large = run_scenario("ER", WAN, width=WIDTH, patterns=PATTERNS,
+                             buffer_size=PATTERNS, power_enabled=True)
+        assert large.real < small.real
+        assert large.cpu < small.cpu

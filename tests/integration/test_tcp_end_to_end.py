@@ -1,0 +1,84 @@
+"""End-to-end virtual fault simulation across a real TCP boundary.
+
+The provider's TestabilityServant runs behind a genuine socket server;
+the client drives the whole two-phase protocol through TcpTransport and
+RemoteStub.  This proves that the protocol's data really crosses a
+process-style boundary through the restricted wire format.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import build_embedded, build_figure4
+from repro.core import Logic
+from repro.faults import TestabilityServant, reports_agree
+from repro.gates import ip1_block, parity_tree
+from repro.rmi import JavaCADServer, RemoteStub, TcpTransport
+
+
+@pytest.fixture
+def tcp_testability():
+    server = JavaCADServer("tcp.fault.provider")
+    servant = TestabilityServant(ip1_block())
+    server.bind("IP1.test", servant, TestabilityServant.REMOTE_METHODS)
+    host, port = server.serve_tcp()
+    transport = TcpTransport(host, port)
+    stub = RemoteStub(transport, "IP1.test",
+                      TestabilityServant.REMOTE_METHODS)
+    yield stub, servant
+    transport.close()
+    server.stop_tcp()
+
+
+class TestOverTcp:
+    def test_fault_list_over_socket(self, tcp_testability):
+        stub, servant = tcp_testability
+        names = stub.fault_list()
+        assert tuple(names) == servant.fault_list()
+
+    def test_detection_table_over_socket(self, tcp_testability):
+        stub, servant = tcp_testability
+        table = stub.detection_table([Logic.ONE, Logic.ZERO],
+                                     list(servant.fault_list()))
+        local = servant.detection_table([Logic.ONE, Logic.ZERO],
+                                        servant.fault_list())
+        assert table == local
+        # The wire pattern keys come back as Logic, not bare ints.
+        assert all(isinstance(bit, Logic)
+                   for pattern in table.rows for bit in pattern)
+
+    def test_full_virtual_run_through_the_stub(self, tcp_testability):
+        stub, _servant = tcp_testability
+        setup = build_figure4(collapse="equivalence", stub=stub)
+        rng = random.Random(12)
+        patterns = [{name: rng.getrandbits(1) for name in "ABCD"}
+                    for _ in range(12)]
+        report = setup.simulator.run(patterns)
+        # Compare against the same run with a direct (in-process)
+        # servant: the transport must be behaviour-transparent.
+        direct = build_figure4(collapse="equivalence")
+        direct_report = direct.simulator.run(patterns)
+        assert dict(report.detected) == dict(direct_report.detected)
+
+    def test_embedded_block_agrees_with_serial_over_tcp(self):
+        experiment = build_embedded(parity_tree(4), block_name="PAR")
+        # Swap the direct servant for a TCP stub.
+        servant = experiment.virtual.ip_blocks[0].stub
+        server = JavaCADServer("tcp.embed.provider")
+        server.bind("PAR.test", servant,
+                    TestabilityServant.REMOTE_METHODS)
+        host, port = server.serve_tcp()
+        transport = TcpTransport(host, port)
+        try:
+            experiment.virtual.ip_blocks[0].stub = RemoteStub(
+                transport, "PAR.test", TestabilityServant.REMOTE_METHODS)
+            patterns = experiment.random_patterns(10, seed=3)
+            virtual = experiment.virtual.run(patterns)
+            serial = experiment.serial.run(
+                experiment.patterns_as_logic(patterns))
+            assert reports_agree(virtual, serial,
+                                 rename=lambda q: q.split(":", 1)[1])
+        finally:
+            transport.close()
+            server.stop_tcp()

@@ -1,0 +1,15 @@
+"""Shared fixtures: a published provider is expensive to build."""
+
+import pytest
+
+from repro.ip import IPProvider
+
+WIDTH = 6
+
+
+@pytest.fixture(scope="session")
+def provider():
+    """One 6-bit multiplier provider for the whole ip test session."""
+    vendor = IPProvider("fixture.provider")
+    vendor.publish_multiplier(WIDTH, training_patterns=150)
+    return vendor

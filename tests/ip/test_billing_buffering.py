@@ -1,0 +1,128 @@
+"""Billing accounts and pattern buffering."""
+
+import pytest
+
+from repro.core import BillingError
+from repro.estimation import ConstantEstimator
+from repro.ip import BillingAccount, BufferedRemoteEstimation, \
+    PatternBuffer
+
+
+def paid_estimator(cost):
+    return ConstantEstimator("average_power", 1.0, name="paid",
+                             cost=cost)
+
+
+class TestBillingAccount:
+    def test_charges_accumulate(self):
+        account = BillingAccount()
+        estimator = paid_estimator(0.1)
+        for _ in range(5):
+            account.charge(estimator)
+        assert account.total == pytest.approx(0.5)
+        assert len(account.ledger) == 5
+
+    def test_free_estimators_not_ledgered(self):
+        account = BillingAccount()
+        account.charge(paid_estimator(0.0))
+        assert account.total == 0.0 and account.ledger == ()
+
+    def test_budget_enforced(self):
+        account = BillingAccount(budget=0.25)
+        estimator = paid_estimator(0.1)
+        account.charge(estimator)
+        account.charge(estimator)
+        with pytest.raises(BillingError, match="budget"):
+            account.charge(estimator)
+        assert account.total == pytest.approx(0.2)  # failed charge undone
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(BillingError):
+            BillingAccount(budget=-1)
+
+    def test_by_estimator_grouping(self):
+        account = BillingAccount()
+        account.charge(paid_estimator(0.1))
+        account.charge(ConstantEstimator("area", 0.0, name="other",
+                                         cost=0.3))
+        grouped = account.by_estimator()
+        assert grouped["paid"] == pytest.approx(0.1)
+        assert grouped["other"] == pytest.approx(0.3)
+
+    def test_ledger_records_module(self):
+        class FakeModule:
+            name = "MULT"
+
+        account = BillingAccount()
+        account.charge(paid_estimator(0.1), module=FakeModule())
+        assert account.ledger[0].module == "MULT"
+
+
+class TestPatternBuffer:
+    def test_flushes_at_capacity(self):
+        batches = []
+        buffer = PatternBuffer(3, batches.append)
+        for item in range(7):
+            buffer.add(item)
+        assert batches == [[0, 1, 2], [3, 4, 5]]
+        assert buffer.pending == 1
+        buffer.drain()
+        assert batches[-1] == [6]
+        assert buffer.flushes == 3
+
+    def test_capacity_one_flushes_immediately(self):
+        batches = []
+        buffer = PatternBuffer(1, batches.append)
+        buffer.add("x")
+        assert batches == [["x"]]
+        assert buffer.pending == 0
+
+    def test_drain_empty_is_noop(self):
+        batches = []
+        buffer = PatternBuffer(4, batches.append)
+        buffer.drain()
+        assert batches == []
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PatternBuffer(0, lambda batch: None)
+
+    def test_items_seen_counter(self):
+        buffer = PatternBuffer(10, lambda batch: None)
+        for item in range(4):
+            buffer.add(item)
+        assert buffer.items_seen == 4
+
+
+class FakeStub:
+    def __init__(self):
+        self.calls = []
+        self.results = {"s": [1.0, 2.0]}
+
+    def invoke(self, method, *args, oneway=False):
+        self.calls.append((method, args, oneway))
+        if method == "fetch_results":
+            return self.results[args[0]]
+        return None
+
+
+class TestBufferedRemoteEstimation:
+    def test_push_flush_collect(self):
+        stub = FakeStub()
+        pipeline = BufferedRemoteEstimation(stub, "s", buffer_size=2)
+        for pattern in [(1, 2), (3, 4), (5, 6)]:
+            pipeline.push(pattern)
+        results = pipeline.collect()
+        assert results == [1.0, 2.0]
+        methods = [call[0] for call in stub.calls]
+        assert methods == ["power_buffer", "power_buffer",
+                           "fetch_results"]
+        # First flush carried the first two patterns.
+        assert stub.calls[0][1] == ("s", [(1, 2), (3, 4)])
+        assert pipeline.remote_calls == 2
+
+    def test_collect_without_patterns(self):
+        stub = FakeStub()
+        pipeline = BufferedRemoteEstimation(stub, "s", buffer_size=5)
+        assert pipeline.collect() == [1.0, 2.0]
+        assert [call[0] for call in stub.calls] == ["fetch_results"]

@@ -1,0 +1,95 @@
+"""Negotiation and watermarking."""
+
+import pytest
+
+from repro.core import EstimationError, IPProtectionError, Logic
+from repro.gates import NetlistSimulator, array_multiplier, parity_tree
+from repro.ip import (EstimatorOffer, Negotiation, ProviderConnection,
+                      embed_watermark, verify_watermark)
+from repro.net import LOCALHOST
+
+
+class TestNegotiation:
+    @pytest.fixture
+    def negotiation(self, provider):
+        connection = ProviderConnection(provider, LOCALHOST)
+        return Negotiation(connection, "MultFastLowPower")
+
+    def test_offers_match_datasheet(self, negotiation):
+        offers = negotiation.offers()
+        assert [offer.type for offer in offers] == \
+            ["constant", "linear-regression", "gate-level-toggle"]
+
+    def test_select_most_accurate(self, negotiation):
+        assert negotiation.select().type == "gate-level-toggle"
+
+    def test_select_under_fee_cap(self, negotiation):
+        assert negotiation.select(max_cost=0.0).type == \
+            "linear-regression"
+
+    def test_select_local_only(self, negotiation):
+        assert not negotiation.select(local_only=True).remote
+
+    def test_impossible_constraints_raise(self, negotiation):
+        with pytest.raises(EstimationError):
+            negotiation.select(max_error=1.0)
+
+    def test_session_fee_projection(self, negotiation):
+        offer = negotiation.select()
+        assert negotiation.estimated_session_fee(offer, 100) == \
+            pytest.approx(offer.cost_cents_per_pattern * 100)
+
+    def test_offer_from_wire(self):
+        offer = EstimatorOffer.from_wire({
+            "type": "t", "avg_error_pct": 1.0, "rms_error_pct": 2.0,
+            "cost_cents_per_pattern": 0.5, "cpu_s_per_pattern": 3.0,
+            "remote": True, "unpredictable_time": True})
+        assert offer.remote and offer.unpredictable_time
+
+
+class TestWatermark:
+    def test_functional_equivalence(self):
+        original = array_multiplier(3, name="wm")
+        marked = embed_watermark(original, key="k1")
+        sim_original = NetlistSimulator(original)
+        sim_marked = NetlistSimulator(marked)
+        for word in range(64):
+            assert sim_original.evaluate_int(word)["p5"] == \
+                sim_marked.evaluate_int(word)["p5"]
+            assert sim_original.evaluate_int(word)["p0"] == \
+                sim_marked.evaluate_int(word)["p0"]
+
+    def test_verification_with_key(self):
+        marked = embed_watermark(array_multiplier(3, name="wm"),
+                                 key="vendor-key")
+        assert verify_watermark(marked, "vendor-key")
+
+    def test_wrong_key_fails(self):
+        marked = embed_watermark(array_multiplier(3, name="wm"),
+                                 key="vendor-key")
+        assert not verify_watermark(marked, "forged-key") or \
+            _keys_collide(marked)
+
+    def test_unmarked_netlist_fails(self):
+        assert not verify_watermark(array_multiplier(3, name="wm"),
+                                    "vendor-key")
+
+    def test_gate_overhead_is_two_per_bit(self):
+        original = array_multiplier(3, name="wm")
+        marked = embed_watermark(original, key="k", bits=8)
+        assert marked.gate_count() == original.gate_count() + 16
+
+    def test_too_small_netlist_rejected(self):
+        tiny = parity_tree(2, name="tiny")
+        with pytest.raises(IPProtectionError, match="internal nets"):
+            embed_watermark(tiny, key="k", bits=8)
+
+    def test_deterministic_embedding(self):
+        first = embed_watermark(array_multiplier(3, name="wm"), key="k")
+        second = embed_watermark(array_multiplier(3, name="wm"), key="k")
+        assert [g.name for g in first.gates] == \
+            [g.name for g in second.gates]
+
+
+def _keys_collide(marked):  # pragma: no cover - astronomically unlikely
+    return False

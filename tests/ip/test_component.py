@@ -1,0 +1,177 @@
+"""Client-side IP components: public parts, connections, MR mode."""
+
+import pytest
+
+from repro.core import (Circuit, DesignError, PatternPrimaryInput,
+                        PrimaryOutput, SimulationController, Word,
+                        WordConnector)
+from repro.estimation import (AREA, AVERAGE_POWER, DELAY, ByName,
+                              MaxAccuracy, PreferLocal, SetupController)
+from repro.ip import MultFastLowPower, ProviderConnection
+from repro.net import LOCALHOST, VirtualClock
+from tests.ip.conftest import WIDTH
+
+
+def build_design(provider, remote_functional=False, patterns=(3, 5),
+                 buffer_size=2):
+    clock = VirtualClock()
+    connection = ProviderConnection(provider, LOCALHOST, clock=clock)
+    a, b = WordConnector(WIDTH), WordConnector(WIDTH)
+    o = WordConnector(2 * WIDTH)
+    ina = PatternPrimaryInput(WIDTH, [p for p in patterns], a, name="INA")
+    inb = PatternPrimaryInput(WIDTH, [p + 1 for p in patterns], b,
+                              name="INB")
+    mult = MultFastLowPower(WIDTH, a, b, o, connection,
+                            remote_functional=remote_functional,
+                            buffer_size=buffer_size, name="MULT")
+    out = PrimaryOutput(2 * WIDTH, o, name="OUT")
+    circuit = Circuit(ina, inb, mult, out)
+    return circuit, mult, out, connection
+
+
+class TestProviderConnection:
+    def test_catalog_access(self, provider):
+        connection = ProviderConnection(provider, LOCALHOST)
+        assert connection.list_components() == ["MultFastLowPower"]
+        sheet = connection.describe("MultFastLowPower")
+        assert sheet["width"] == WIDTH
+
+    def test_sessions_are_unique(self, provider):
+        first = ProviderConnection(provider, LOCALHOST)
+        second = ProviderConnection(provider, LOCALHOST)
+        assert first.session != second.session
+
+    def test_default_policy_is_locked(self, provider):
+        connection = ProviderConnection(provider, LOCALHOST)
+        assert not connection.policy.trusted
+        assert connection.policy.provider_host == "fixture.provider"
+
+
+class TestPublicPart:
+    def test_local_functional_model(self, provider):
+        circuit, _mult, out, _conn = build_design(provider)
+        controller = SimulationController(circuit)
+        controller.start()
+        products = [v.value for _t, v in out.trace(controller.context)
+                    if v.known]
+        assert products[-1] == 5 * 6
+        assert 3 * 4 in products
+
+    def test_width_mismatch_rejected(self, provider):
+        connection = ProviderConnection(provider, LOCALHOST)
+        a, b = WordConnector(4), WordConnector(4)
+        o = WordConnector(8)
+        with pytest.raises(DesignError, match="published for width"):
+            MultFastLowPower(4, a, b, o, connection)
+
+    def test_three_power_estimators_registered(self, provider):
+        circuit, mult, _out, _conn = build_design(provider)
+        names = {est.name
+                 for est in mult.candidate_estimators(AVERAGE_POWER.name)}
+        assert names == {"constant-power", "linreg-power",
+                         "gate-level-toggle"}
+
+    def test_static_estimators_from_datasheet(self, provider):
+        _circuit, mult, _out, _conn = build_design(provider)
+        area = mult.candidate_estimators(AREA.name)[0]
+        assert area.name == "datasheet-area"
+        delay = mult.candidate_estimators(DELAY.name)[0]
+        assert delay.name == "datasheet-delay"
+
+    def test_static_scoap_testability_estimator(self, provider):
+        """The data sheet carries boundary SCOAP numbers -- the paper's
+        precharacterized static testability estimate -- and the public
+        part exposes them as a candidate testability estimator."""
+        from repro.estimation import TESTABILITY
+        _circuit, mult, _out, _conn = build_design(provider)
+        scoap = mult.candidate_estimators(TESTABILITY.name)[0]
+        assert scoap.name == "datasheet-scoap"
+        summary = mult.datasheet["scoap_boundary"]
+        # Entries for every boundary net, difficulty only, no structure.
+        assert all(set(entry) == {"cc0", "cc1", "co"}
+                   for entry in summary.values())
+        assert mult.datasheet["scoap_hardest_effort"] > 0
+
+    def test_accurate_timing_remote_method(self, provider):
+        _circuit, mult, _out, _conn = build_design(provider)
+        timing = mult.accurate_timing()
+        assert timing == pytest.approx(provider.private_netlist(
+            "MultFastLowPower").critical_path_delay())
+        # The data-sheet delay is only an estimate of the remote truth.
+        sheet_delay = mult.datasheet["delay_ns"]
+        assert timing == pytest.approx(sheet_delay)
+
+
+class TestRemoteEstimation:
+    def test_buffered_power_collection(self, provider):
+        circuit, mult, _out, connection = build_design(
+            provider, patterns=(1, 2, 3, 4, 5), buffer_size=2)
+        setup = SetupController()
+        setup.set(AVERAGE_POWER, ByName("gate-level-toggle"))
+        setup.apply(circuit)
+        controller = SimulationController(circuit, setup=setup,
+                                          clock=connection.clock)
+        controller.start()
+        powers = mult.collect_power(controller.context)
+        assert len(powers) == 5
+        assert any(p > 0 for p in powers)
+
+    def test_prefer_local_avoids_remote(self, provider):
+        circuit, mult, _out, connection = build_design(provider)
+        setup = SetupController()
+        setup.set(AVERAGE_POWER, PreferLocal())
+        setup.apply(circuit)
+        chosen = setup.chosen_estimator(mult, AVERAGE_POWER.name)
+        assert chosen.name == "linreg-power"
+        before = connection.transport.stats.calls
+        SimulationController(circuit, setup=setup).start()
+        # No extra remote traffic from the estimation sweep.
+        assert connection.transport.stats.calls == before
+
+    def test_max_accuracy_picks_remote(self, provider):
+        circuit, mult, _out, _conn = build_design(provider)
+        setup = SetupController()
+        setup.set(AVERAGE_POWER, MaxAccuracy())
+        setup.apply(circuit)
+        assert setup.chosen_estimator(
+            mult, AVERAGE_POWER.name).name == "gate-level-toggle"
+
+
+class TestRemoteFunctionalMode:
+    def test_mr_matches_local_products(self, provider):
+        """The MR module computes identical functional results -- just
+        remotely."""
+        local_circuit, _m, local_out, _c = build_design(provider)
+        remote_circuit, _m2, remote_out, _c2 = build_design(
+            provider, remote_functional=True)
+        local_ctrl = SimulationController(local_circuit)
+        local_ctrl.start()
+        remote_ctrl = SimulationController(remote_circuit)
+        remote_ctrl.start()
+        local_products = [v.value for _t, v
+                          in local_out.trace(local_ctrl.context)
+                          if v.known]
+        remote_products = [v.value for _t, v
+                           in remote_out.trace(remote_ctrl.context)
+                           if v.known]
+        assert local_products == remote_products
+
+    def test_mr_generates_remote_calls_per_event(self, provider):
+        circuit, _mult, _out, connection = build_design(
+            provider, remote_functional=True, patterns=(1, 2, 3))
+        before = connection.transport.stats.calls
+        SimulationController(circuit).start()
+        # Two input events per pattern cross the wire.
+        assert connection.transport.stats.calls - before >= 6
+
+    def test_mr_power_marks_are_server_buffered(self, provider):
+        circuit, mult, _out, connection = build_design(
+            provider, remote_functional=True, patterns=(1, 2, 3))
+        setup = SetupController()
+        setup.set(AVERAGE_POWER, ByName("gate-level-toggle"))
+        setup.apply(circuit)
+        controller = SimulationController(circuit, setup=setup,
+                                          clock=connection.clock)
+        controller.start()
+        powers = mult.collect_power(controller.context)
+        assert len(powers) == 3

@@ -1,0 +1,104 @@
+"""Purchase, licensing and leak forensics."""
+
+import pytest
+
+from repro.core import BillingError, Logic
+from repro.gates import NetlistSimulator, array_multiplier, write_bench
+from repro.ip import (ComponentLicense, LicenseServant,
+                      purchase_component)
+from repro.net import LOCALHOST
+from repro.rmi import JavaCADServer, RemoteStub
+
+
+@pytest.fixture
+def desk():
+    netlist = array_multiplier(3, name="Mult3")
+    return LicenseServant(netlist, price_cents=500.0,
+                          provider_secret="vendor-master-key")
+
+
+@pytest.fixture
+def stub(desk):
+    server = JavaCADServer("license.provider")
+    server.bind("mult.sales", desk, LicenseServant.REMOTE_METHODS)
+    return RemoteStub(server.connect(LOCALHOST), "mult.sales",
+                      LicenseServant.REMOTE_METHODS)
+
+
+class TestQuoteAndPurchase:
+    def test_quote_is_structure_free(self, stub):
+        offer = stub.quote()
+        assert offer["price_cents"] == 500.0
+        assert offer["gates"] > 0
+        assert "implementation" not in offer
+
+    def test_underpayment_rejected(self, stub, desk):
+        with pytest.raises(Exception, match="costs"):
+            stub.purchase("cheapskate", 1.0)
+        assert desk.revenue == 0.0
+
+    def test_purchase_delivers_working_implementation(self, stub):
+        license_, netlist = purchase_component(stub, "acme", 1000.0)
+        assert license_.buyer == "acme"
+        simulator = NetlistSimulator(netlist)
+        reference = NetlistSimulator(array_multiplier(3, name="Mult3"))
+        for word in range(64):
+            for out in netlist.outputs:
+                assert simulator.evaluate_int(word)[out] == \
+                    reference.evaluate_int(word)[out]
+
+    def test_budget_check_spends_nothing(self, stub, desk):
+        with pytest.raises(BillingError, match="budget"):
+            purchase_component(stub, "poor", 1.0)
+        assert desk.revenue == 0.0
+
+    def test_revenue_and_buyers(self, stub, desk):
+        purchase_component(stub, "first", 1000.0)
+        purchase_component(stub, "second", 1000.0)
+        assert desk.revenue == 1000.0
+        assert desk.buyers == ("first", "second")
+
+
+class TestLicenses:
+    def test_issued_license_verifies(self, stub):
+        license_, _netlist = purchase_component(stub, "acme", 1000.0)
+        assert stub.verify(license_.as_wire())
+
+    def test_forged_license_fails(self, stub):
+        forged = ComponentLicense("Mult3", "acme", "00" * 32)
+        assert not stub.verify(forged.as_wire())
+
+    def test_license_bound_to_buyer(self, stub):
+        license_, _netlist = purchase_component(stub, "acme", 1000.0)
+        stolen = ComponentLicense(license_.component, "impostor",
+                                  license_.key)
+        assert not stub.verify(stolen.as_wire())
+
+
+class TestLeakForensics:
+    def test_leak_attributed_to_the_right_buyer(self, desk, stub):
+        _la, netlist_a = purchase_component(stub, "acme", 1000.0)
+        _lb, netlist_b = purchase_component(stub, "bravo", 1000.0)
+        assert desk.identify_leak(write_bench(netlist_a)) == "acme"
+        assert desk.identify_leak(write_bench(netlist_b)) == "bravo"
+
+    def test_fingerprints_differ_per_buyer(self, stub):
+        _la, netlist_a = purchase_component(stub, "acme", 1000.0)
+        _lb, netlist_b = purchase_component(stub, "bravo", 1000.0)
+        assert write_bench(netlist_a) != write_bench(netlist_b)
+
+    def test_pristine_master_is_not_attributed(self, desk, stub):
+        purchase_component(stub, "acme", 1000.0)
+        pristine = write_bench(array_multiplier(3, name="Mult3"))
+        assert desk.identify_leak(pristine) is None
+
+    def test_garbage_leak_is_not_attributed(self, desk):
+        assert desk.identify_leak("not a bench file at all") is None
+
+    def test_fingerprint_survives_a_bench_roundtrip(self, desk, stub):
+        """Re-serialization does not wash the fingerprint out."""
+        from repro.gates import read_bench
+        _l, netlist = purchase_component(stub, "acme", 1000.0)
+        laundered = write_bench(read_bench(write_bench(netlist),
+                                           name="Mult3"))
+        assert desk.identify_leak(laundered) == "acme"

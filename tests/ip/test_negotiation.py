@@ -1,0 +1,120 @@
+"""Interactive client-server negotiation of estimator fees."""
+
+import pytest
+
+from repro.core import BillingError, RemoteError
+from repro.ip import (InteractiveNegotiation, NegotiationOutcome,
+                      NegotiationServant)
+from repro.net import LOCALHOST
+from repro.rmi import JavaCADServer, RemoteStub
+
+
+def make_stub(servant):
+    server = JavaCADServer("negotiation.provider")
+    server.bind("mult.negotiate", servant,
+                NegotiationServant.REMOTE_METHODS)
+    transport = server.connect(LOCALHOST)
+    return RemoteStub(transport, "mult.negotiate",
+                      NegotiationServant.REMOTE_METHODS)
+
+
+class TestServantPolicy:
+    def test_opens_at_list_price(self):
+        servant = NegotiationServant(list_price=0.10)
+        session = servant.open_session(volume=100)
+        assert servant.quote(session) == pytest.approx(0.10)
+
+    def test_concession_is_bounded(self):
+        servant = NegotiationServant(list_price=0.10, concession=0.15)
+        session = servant.open_session(volume=100)
+        new_quote = servant.counter_offer(session, 0.01)
+        assert new_quote == pytest.approx(0.10 * 0.85)
+
+    def test_never_below_floor(self):
+        servant = NegotiationServant(list_price=0.10, floor_fraction=0.6)
+        session = servant.open_session(volume=100)
+        quote = 0.10
+        for _ in range(4):
+            quote = servant.counter_offer(session, 0.0001)
+        assert quote >= 0.06 - 1e-12
+
+    def test_volume_halves_the_floor(self):
+        servant = NegotiationServant(list_price=0.10, floor_fraction=0.6,
+                                     volume_break=1000)
+        small = servant.open_session(volume=10)
+        large = servant.open_session(volume=5000)
+        for _ in range(5):
+            small_quote = servant.counter_offer(small, 0.0)
+        servant2 = NegotiationServant(list_price=0.10,
+                                      floor_fraction=0.6,
+                                      volume_break=1000, max_rounds=20)
+        large = servant2.open_session(volume=5000)
+        for _ in range(20):
+            large_quote = servant2.counter_offer(large, 0.0)
+        assert large_quote < small_quote
+
+    def test_round_limit(self):
+        servant = NegotiationServant(list_price=0.10, max_rounds=2)
+        session = servant.open_session(volume=10)
+        servant.counter_offer(session, 0.01)
+        servant.counter_offer(session, 0.01)
+        with pytest.raises(RemoteError, match="round limit"):
+            servant.counter_offer(session, 0.01)
+
+    def test_closed_session_rejected(self):
+        servant = NegotiationServant(list_price=0.10)
+        session = servant.open_session(volume=10)
+        servant.accept(session)
+        with pytest.raises(RemoteError, match="closed"):
+            servant.quote(session)
+
+    def test_unknown_session(self):
+        servant = NegotiationServant(list_price=0.10)
+        with pytest.raises(RemoteError, match="unknown"):
+            servant.quote("nope")
+
+    def test_invalid_volume(self):
+        servant = NegotiationServant(list_price=0.10)
+        with pytest.raises(RemoteError):
+            servant.open_session(volume=0)
+
+
+class TestInteractiveClient:
+    def test_reachable_target_gets_a_deal(self):
+        stub = make_stub(NegotiationServant(list_price=0.10,
+                                            floor_fraction=0.5))
+        negotiation = InteractiveNegotiation(stub, volume=200)
+        outcome = negotiation.negotiate(target_price=0.08)
+        assert outcome.accepted
+        assert outcome.price_per_pattern <= 0.08 * 1.10
+        assert outcome.total_for(100) == pytest.approx(
+            outcome.price_per_pattern * 100)
+
+    def test_unreachable_target_declines(self):
+        stub = make_stub(NegotiationServant(list_price=0.10,
+                                            floor_fraction=0.9))
+        negotiation = InteractiveNegotiation(stub, volume=10)
+        outcome = negotiation.negotiate(target_price=0.01)
+        assert not outcome.accepted
+        assert outcome.price_per_pattern is None
+        with pytest.raises(BillingError):
+            outcome.total_for(10)
+
+    def test_generous_target_accepts_immediately(self):
+        stub = make_stub(NegotiationServant(list_price=0.10))
+        negotiation = InteractiveNegotiation(stub, volume=10)
+        outcome = negotiation.negotiate(target_price=0.2)
+        assert outcome.accepted
+        assert outcome.rounds == 1
+        assert outcome.price_per_pattern == pytest.approx(0.10)
+
+    def test_runs_over_rmi_transport(self):
+        """The whole protocol crosses the RMI layer (marshalled floats
+        and strings only)."""
+        stub = make_stub(NegotiationServant(list_price=0.10,
+                                            floor_fraction=0.4,
+                                            max_rounds=10))
+        outcome = InteractiveNegotiation(stub, volume=100).negotiate(
+            target_price=0.05, max_rounds=10)
+        assert isinstance(outcome, NegotiationOutcome)
+        assert outcome.accepted

@@ -1,0 +1,138 @@
+"""Provider-side publishing and servants."""
+
+import pytest
+
+from repro.core import IPProtectionError, RemoteError
+from repro.faults import DetectionTable
+from repro.gates import Netlist, parity_tree
+from repro.ip import IPProvider, PowerServant
+from repro.ip.provider import FunctionalServant
+from repro.net import LOCALHOST
+from tests.ip.conftest import WIDTH
+
+
+class TestPublishing:
+    def test_all_servants_bound(self, provider):
+        names = provider.server.registry.names()
+        assert "catalog" in names
+        for suffix in ("power", "module", "timing", "test"):
+            assert f"MultFastLowPower.{suffix}" in names
+
+    def test_datasheet_contents(self, provider):
+        sheet = provider.catalog.describe("MultFastLowPower")
+        assert sheet["width"] == WIDTH
+        assert sheet["area"] > 0
+        assert sheet["delay_ns"] > 0
+        assert sheet["power_constant_mw"] > 0
+        assert len(sheet["estimators"]) == 3
+
+    def test_unknown_component_described(self, provider):
+        with pytest.raises(RemoteError):
+            provider.catalog.describe("Nonexistent")
+
+    def test_private_netlist_accessible_locally_only(self, provider):
+        netlist = provider.private_netlist("MultFastLowPower")
+        assert netlist.gate_count() > 0
+
+    def test_private_netlist_blocked_over_rmi(self, provider):
+        transport = provider.server.connect(LOCALHOST)
+        # Even if someone bound it, dispatch would fail at marshalling;
+        # and the accessor itself refuses inside a server context.
+        provider.server.rebind("leak", provider,
+                               ["private_netlist"])
+        with pytest.raises(RemoteError,
+                           match="IPProtectionError|MarshalError"):
+            transport.invoke("leak", "private_netlist",
+                             ("MultFastLowPower",))
+        provider.server.registry.unbind("leak")
+
+    def test_publish_generic_component(self):
+        vendor = IPProvider("generic.provider")
+        vendor.publish_netlist_component(parity_tree(4), "Parity4",
+                                         ("i",), (4,))
+        assert "Parity4.test" in vendor.server.registry.names()
+        assert vendor.catalog.describe("Parity4")["area"] > 0
+
+
+class TestPowerServant:
+    def make(self, enabled=True):
+        netlist = parity_tree(4)
+        return PowerServant(netlist, ("i",), (4,), enabled=enabled)
+
+    def test_sessions_are_independent(self):
+        servant = self.make()
+        servant.power_buffer("s1", [(0b1111,), (0b0000,)])
+        servant.power_buffer("s2", [(0b1111,)])
+        assert len(servant.fetch_results("s1")) == 2
+        assert len(servant.fetch_results("s2")) == 1
+
+    def test_reset_clears_session(self):
+        servant = self.make()
+        servant.power_buffer("s1", [(0b1111,)])
+        servant.reset("s1")
+        assert servant.fetch_results("s1") == []
+
+    def test_disabled_servant_returns_zero(self):
+        """The Figure 3 configuration: PPP call disabled."""
+        servant = self.make(enabled=False)
+        servant.power_buffer("s", [(0b1111,), (0b0101,)])
+        assert servant.fetch_results("s") == [0.0, 0.0]
+
+    def test_consecutive_patterns_matter(self):
+        servant = self.make()
+        # 0b0111 flips the parity output; repeating it toggles nothing.
+        servant.power_buffer("s", [(0b0111,), (0b0111,)])
+        powers = servant.fetch_results("s")
+        assert powers[0] > 0 and powers[1] == 0.0
+
+    def test_mark_pattern_accumulates(self):
+        netlist = parity_tree(4)
+        servant = PowerServant(netlist, ("i",), (4,))
+        # mark_pattern is the MR-mode single-pattern push; the parity
+        # tree takes one operand, the multiplier two -- use the
+        # multiplier-shaped servant from a provider instead.
+        vendor = IPProvider("mark.provider")
+        vendor.publish_multiplier(4, training_patterns=40)
+        binding = vendor.server.registry.lookup("MultFastLowPower.power")
+        binding.servant.mark_pattern("s", 3, 5)
+        binding.servant.mark_pattern("s", 3, 5)
+        results = binding.servant.fetch_results("s")
+        assert len(results) == 2 and results[1] == 0.0
+
+
+class TestFunctionalServant:
+    def test_emits_product_when_both_operands_known(self):
+        servant = FunctionalServant(8)
+        assert servant.handle_event("s", "a", 6) == []
+        assert servant.handle_event("s", "b", 7) == [("o", 42)]
+
+    def test_sessions_independent(self):
+        servant = FunctionalServant(8)
+        servant.handle_event("s1", "a", 2)
+        assert servant.handle_event("s2", "b", 9) == []
+
+    def test_unknown_port_rejected(self):
+        servant = FunctionalServant(8)
+        with pytest.raises(RemoteError):
+            servant.handle_event("s", "q", 1)
+
+    def test_product_masked_to_output_width(self):
+        servant = FunctionalServant(4)
+        servant.handle_event("s", "a", 15)
+        [(_, product)] = servant.handle_event("s", "b", 15)
+        assert product == 225  # fits in 8 bits
+
+    def test_reset(self):
+        servant = FunctionalServant(8)
+        servant.handle_event("s", "a", 2)
+        servant.reset("s")
+        assert servant.handle_event("s", "b", 3) == []
+
+
+class TestTimingServant:
+    def test_timing_matches_netlist(self, provider):
+        binding = provider.server.registry.lookup(
+            "MultFastLowPower.timing")
+        expected = provider.private_netlist(
+            "MultFastLowPower").critical_path_delay()
+        assert binding.servant.output_timing() == pytest.approx(expected)

@@ -1,0 +1,84 @@
+"""Protected test-sequence vault: selling tests as IP."""
+
+import pytest
+
+from repro.core import BillingError, Logic
+from repro.faults import SerialFaultSimulator, build_fault_list
+from repro.gates import c17
+from repro.ip import TestSequenceVault, buy_test_sequence
+from repro.net import LOCALHOST
+from repro.rmi import JavaCADServer, RemoteStub
+
+
+@pytest.fixture(scope="module")
+def vault():
+    return TestSequenceVault(c17(), price_per_pattern=2.0,
+                             random_patterns=8, seed=1)
+
+
+@pytest.fixture
+def stub(vault):
+    server = JavaCADServer("vault.provider")
+    server.bind("c17.tests", vault, TestSequenceVault.REMOTE_METHODS)
+    transport = server.connect(LOCALHOST)
+    return RemoteStub(transport, "c17.tests",
+                      TestSequenceVault.REMOTE_METHODS)
+
+
+class TestPreview:
+    def test_preview_discloses_value_not_patterns(self, stub):
+        offer = stub.preview()
+        assert offer["coverage"] == 1.0
+        assert offer["patterns"] > 0
+        assert offer["price_cents"] == pytest.approx(
+            2.0 * offer["patterns"])
+        assert "pattern" not in {k for k in offer} - {"patterns"}
+
+    def test_preview_is_free(self, vault, stub):
+        revenue_before = vault.revenue()
+        stub.preview()
+        assert vault.revenue() == revenue_before
+
+
+class TestPurchase:
+    def test_underpayment_rejected(self, stub):
+        with pytest.raises(Exception, match="costs"):
+            stub.purchase("cheapskate", 0.5)
+
+    def test_purchase_releases_working_patterns(self, vault, stub):
+        offer = stub.preview()
+        patterns = stub.purchase("acme-corp", offer["price_cents"])
+        assert len(patterns) == offer["patterns"]
+        # The bought patterns really achieve the advertised coverage.
+        netlist = c17()
+        fault_list = build_fault_list(netlist)
+        simulator = SerialFaultSimulator(netlist, fault_list)
+        report = simulator.run(patterns)
+        assert report.coverage == pytest.approx(offer["coverage"])
+
+    def test_patterns_are_port_level_data(self, stub):
+        offer = stub.preview()
+        patterns = stub.purchase("acme-corp", offer["price_cents"])
+        for pattern in patterns:
+            assert all(isinstance(value, Logic)
+                       for value in pattern.values())
+
+    def test_revenue_accumulates(self, vault, stub):
+        before = vault.revenue()
+        offer = stub.preview()
+        stub.purchase("buyer-a", offer["price_cents"])
+        assert vault.revenue() == pytest.approx(
+            before + offer["price_cents"])
+        assert "buyer-a" in vault.buyers
+
+
+class TestClientFlow:
+    def test_budget_check_spends_nothing(self, vault, stub):
+        before = vault.revenue()
+        with pytest.raises(BillingError, match="budget"):
+            buy_test_sequence(stub, "poor-corp", budget=0.1)
+        assert vault.revenue() == before
+
+    def test_successful_flow(self, stub):
+        patterns = buy_test_sequence(stub, "rich-corp", budget=1000.0)
+        assert patterns

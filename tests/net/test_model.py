@@ -1,0 +1,46 @@
+"""Network models: call-time arithmetic and the paper's presets."""
+
+import pytest
+
+from repro.net import LAN, LOCALHOST, PRESETS, WAN, NetworkModel
+
+
+class TestCallTime:
+    def test_formula(self):
+        model = NetworkModel("m", latency=0.01, bandwidth=1000.0)
+        assert model.transfer_time(500) == pytest.approx(0.5)
+        assert model.call_time(300, 200) == pytest.approx(
+            2 * 0.01 + 500 / 1000.0)
+
+    def test_zero_payload(self):
+        model = NetworkModel("m", latency=0.05, bandwidth=1e6)
+        assert model.call_time(0, 0) == pytest.approx(0.1)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            LAN.transfer_time(-1)
+
+
+class TestPresets:
+    def test_registry(self):
+        assert PRESETS == {"localhost": LOCALHOST, "lan": LAN, "wan": WAN}
+
+    def test_ordering_of_latencies(self):
+        assert LOCALHOST.latency < LAN.latency < WAN.latency
+
+    def test_ordering_of_bandwidths(self):
+        assert LOCALHOST.bandwidth > LAN.bandwidth > WAN.bandwidth
+
+    def test_only_localhost_shares_the_host(self):
+        assert LOCALHOST.shared_host
+        assert not LAN.shared_host and not WAN.shared_host
+
+    def test_same_call_costs_more_with_distance(self):
+        for request, reply in ((100, 100), (2000, 50)):
+            assert LOCALHOST.call_time(request, reply) < \
+                LAN.call_time(request, reply) < \
+                WAN.call_time(request, reply)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            LAN.latency = 0.0

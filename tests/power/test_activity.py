@@ -1,0 +1,67 @@
+"""Switching-activity statistics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Word
+from repro.power import (activity_profile, hamming, pair_activity,
+                         sequence_activity, word_activity)
+
+
+class TestHamming:
+    @given(st.integers(0, 2**16 - 1), st.integers(0, 2**16 - 1))
+    def test_symmetric(self, a, b):
+        assert hamming(a, b) == hamming(b, a)
+
+    def test_known_cases(self):
+        assert hamming(0b1010, 0b0101) == 4
+        assert hamming(7, 7) == 0
+
+    @given(st.integers(0, 255), st.integers(0, 255),
+           st.integers(0, 255))
+    def test_triangle_inequality(self, a, b, c):
+        assert hamming(a, c) <= hamming(a, b) + hamming(b, c)
+
+
+class TestPairActivity:
+    def test_sums_operands(self):
+        assert pair_activity((0b11, 0b00), (0b00, 0b01)) == 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pair_activity((1,), (1, 2))
+
+
+class TestSequenceActivity:
+    def test_first_entry_counts_from_zero(self):
+        acts = sequence_activity([(0b1, 0b1), (0b1, 0b1)])
+        assert acts == [2, 0]
+
+    def test_empty(self):
+        assert sequence_activity([]) == []
+
+    def test_tracks_transitions(self):
+        acts = sequence_activity([(0, 0), (3, 0), (3, 3)])
+        assert acts == [0, 2, 2]
+
+
+class TestWordActivity:
+    def test_matches_hamming(self):
+        assert word_activity(Word(0xF0, 8), Word(0x0F, 8)) == 8
+
+    def test_unknown_contributes_zero(self):
+        assert word_activity(Word.unknown(8), Word(3, 8)) == 0
+        assert word_activity(Word(3, 8), Word.unknown(8)) == 0
+
+
+class TestProfile:
+    def test_statistics(self):
+        profile = activity_profile([(0, 0), (0xFF, 0)], widths=(8, 8))
+        assert profile["peak"] == 8.0
+        assert profile["mean"] == 4.0
+        assert profile["density"] == pytest.approx(4.0 / 16)
+
+    def test_empty_profile(self):
+        profile = activity_profile([], widths=(8,))
+        assert profile == {"mean": 0.0, "peak": 0.0, "density": 0.0}

@@ -1,0 +1,77 @@
+"""Monte-Carlo average-power convergence."""
+
+import pytest
+
+from repro.core.errors import EstimationError
+from repro.gates import array_multiplier, parity_tree
+from repro.power import (MonteCarloResult, SiliconReference,
+                         ToggleCountModel, monte_carlo_power)
+
+
+class TestConvergence:
+    def test_converges_on_multiplier(self):
+        model = ToggleCountModel(array_multiplier(4))
+        result = monte_carlo_power(model, ("a", "b"), (4, 4),
+                                   relative_tolerance=0.05, seed=1)
+        assert result.converged
+        assert result.mean_mw > 0
+        assert result.relative_half_width <= 0.05
+        assert 30 <= result.patterns <= 5000
+
+    def test_tighter_tolerance_needs_more_patterns(self):
+        def patterns_for(tolerance):
+            model = ToggleCountModel(array_multiplier(4))
+            return monte_carlo_power(model, ("a", "b"), (4, 4),
+                                     relative_tolerance=tolerance,
+                                     seed=2).patterns
+
+        assert patterns_for(0.02) > patterns_for(0.10)
+
+    def test_deterministic_for_seed(self):
+        def run(seed):
+            model = ToggleCountModel(parity_tree(4))
+            return monte_carlo_power(model, ("i",), (4,), seed=seed)
+
+        assert run(3).mean_mw == pytest.approx(run(3).mean_mw)
+        assert run(3).patterns == run(3).patterns
+
+    def test_budget_exhaustion_reports_not_converged(self):
+        model = SiliconReference(array_multiplier(4))
+        result = monte_carlo_power(model, ("a", "b"), (4, 4),
+                                   relative_tolerance=0.0001,
+                                   max_patterns=50, seed=4)
+        assert not result.converged
+        assert result.patterns == 50
+
+    def test_mean_matches_direct_average(self):
+        """The Welford stream agrees with a plain replay average."""
+        import random
+        from repro.power import operands_to_inputs
+
+        model = ToggleCountModel(parity_tree(4))
+        result = monte_carlo_power(model, ("i",), (4,),
+                                   relative_tolerance=0.1, seed=7)
+        rng = random.Random(7)
+        replay = ToggleCountModel(parity_tree(4))
+        powers = [replay.power_of_pattern(
+            operands_to_inputs((rng.getrandbits(4),), ("i",), (4,)))
+            for _ in range(result.patterns)]
+        assert result.mean_mw == pytest.approx(sum(powers) / len(powers))
+
+    def test_custom_pattern_source(self):
+        model = ToggleCountModel(parity_tree(4))
+        constant_result = monte_carlo_power(
+            model, ("i",), (4,), min_patterns=5, max_patterns=40,
+            pattern_source=lambda rng: (0b1010,))
+        # A constant stimulus has zero power after the first transition:
+        # the mean stays ~0 and never converges relative to itself.
+        assert constant_result.mean_mw == pytest.approx(0.0, abs=1e-6) \
+            or constant_result.patterns <= 40
+
+    def test_validation(self):
+        model = ToggleCountModel(parity_tree(4))
+        with pytest.raises(EstimationError):
+            monte_carlo_power(model, ("i",), (4,),
+                              relative_tolerance=0.0)
+        with pytest.raises(EstimationError):
+            monte_carlo_power(model, ("i",), (4,), min_patterns=1)

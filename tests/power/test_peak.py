@@ -1,0 +1,86 @@
+"""Peak-power and I/O-activity estimators."""
+
+import pytest
+
+from repro.core import (Circuit, PatternPrimaryInput, PrimaryOutput,
+                        SimulationController, WordConnector)
+from repro.estimation import (IO_ACTIVITY, PEAK_POWER, ByName,
+                              CallableEstimator, SetupController)
+from repro.power import IOActivityEstimator, PeakPowerEstimator
+from repro.rtl import WordAdder
+
+
+def adder_circuit(pairs):
+    a, b = WordConnector(8), WordConnector(8)
+    o = WordConnector(8)
+    ina = PatternPrimaryInput(8, [p[0] for p in pairs], a, name="INA")
+    inb = PatternPrimaryInput(8, [p[1] for p in pairs], b, name="INB")
+    adder = WordAdder(8, a, b, o, name="ADD")
+    out = PrimaryOutput(8, o, name="OUT")
+    return Circuit(ina, inb, adder, out), adder
+
+
+def run_with(circuit, parameter, estimator_name, setup_name="s"):
+    setup = SetupController(name=setup_name)
+    setup.set(parameter, ByName(estimator_name))
+    setup.apply(circuit)
+    controller = SimulationController(circuit, setup=setup)
+    controller.start()
+    return setup
+
+
+class TestIOActivity:
+    def test_counts_port_flips_per_instant(self):
+        circuit, adder = adder_circuit([(0x00, 0x00), (0xFF, 0x00),
+                                        (0xFF, 0x00)])
+        adder.add_estimator(IOActivityEstimator(ports=("a", "b")))
+        setup = run_with(circuit, IO_ACTIVITY, "io-activity")
+        series = setup.results.series("ADD", IO_ACTIVITY.name)
+        # Instant 0 establishes the baseline (no previous values).
+        assert series[0] == 0.0
+        assert series[1] == 8.0   # a flipped all 8 bits
+        assert series[2] == 0.0   # nothing changed
+
+    def test_cumulative_mode(self):
+        circuit, adder = adder_circuit([(0, 0), (0xFF, 0xFF), (0, 0)])
+        adder.add_estimator(IOActivityEstimator(ports=("a", "b"),
+                                                cumulative=True,
+                                                name="io-cum"))
+        setup = run_with(circuit, IO_ACTIVITY, "io-cum")
+        series = setup.results.series("ADD", IO_ACTIVITY.name)
+        assert series == [0.0, 16.0, 32.0]
+
+    def test_all_connected_ports_by_default(self):
+        circuit, adder = adder_circuit([(0x0F, 0x00), (0x00, 0x0F)])
+        adder.add_estimator(IOActivityEstimator())
+        setup = run_with(circuit, IO_ACTIVITY, "io-activity")
+        series = setup.results.series("ADD", IO_ACTIVITY.name)
+        # Second instant: a flips 4 bits, b flips 4 bits, and the output
+        # o stays 0x0F (0x0F+0 == 0+0x0F) -> 8 flips.
+        assert series[1] == 8.0
+
+    def test_free_and_local(self):
+        estimator = IOActivityEstimator()
+        assert estimator.cost == 0.0 and not estimator.remote
+
+
+class TestPeakPower:
+    def test_tracks_running_maximum(self):
+        circuit, adder = adder_circuit([(1, 1), (2, 2), (3, 3)])
+        values = iter([0.5, 2.0, 1.0])
+        inner = CallableEstimator("average_power", "fake-power",
+                                  lambda m, c: next(values))
+        adder.add_estimator(PeakPowerEstimator(inner))
+        setup = run_with(circuit, PEAK_POWER, "peak(fake-power)")
+        series = setup.results.series("ADD", PEAK_POWER.name)
+        assert series == [0.5, 2.0, 2.0]
+
+    def test_inherits_remoteness_and_metadata(self):
+        inner = CallableEstimator("average_power", "inner",
+                                  lambda m, c: 1.0, expected_error=10.0,
+                                  cost=0.1)
+        peak = PeakPowerEstimator(inner)
+        assert peak.expected_error == 10.0
+        assert peak.cost == 0.1
+        assert not peak.remote
+        assert peak.name == "peak(inner)"

@@ -1,0 +1,165 @@
+"""Restricted marshaller: roundtrips, rejections, security properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (Circuit, Design, Logic, MarshalError,
+                        ModuleSkeleton, Word)
+from repro.estimation import NullValue, ParamValue
+from repro.gates import Netlist, array_multiplier
+from repro.rmi import marshal, payload_size, register_value_type, unmarshal
+
+
+def roundtrip(obj):
+    return unmarshal(marshal(obj))
+
+
+class TestRoundtrips:
+    @pytest.mark.parametrize("obj", [
+        None, True, False, 0, -17, 2**40, 3.25, "", "hello",
+        "unicode é€"])
+    def test_scalars(self, obj):
+        assert roundtrip(obj) == obj
+
+    @pytest.mark.parametrize("obj", list(Logic))
+    def test_logic(self, obj):
+        assert roundtrip(obj) is obj
+
+    def test_words(self):
+        assert roundtrip(Word(123, 16)) == Word(123, 16)
+        unknown = roundtrip(Word.unknown(8))
+        assert not unknown.known and unknown.width == 8
+
+    def test_containers(self):
+        obj = {"a": [1, (2, 3)], 4: {"n": None},
+               "f": frozenset({1, 2})}
+        assert roundtrip(obj) == obj
+
+    def test_tuple_stays_tuple(self):
+        assert roundtrip((1, 2)) == (1, 2)
+        assert isinstance(roundtrip((1, 2)), tuple)
+
+    def test_set_becomes_frozenset(self):
+        assert roundtrip({1, 2, 3}) == frozenset({1, 2, 3})
+
+    def test_bytes(self):
+        assert roundtrip(b"\x00\xffabc") == b"\x00\xffabc"
+
+    def test_param_values(self):
+        value = ParamValue("area", 12.5, "eq-gates", 5.0, "datasheet")
+        assert roundtrip(value) == value
+        assert roundtrip(NullValue("power")).is_null
+
+    @given(st.recursive(
+        st.none() | st.booleans() | st.integers(-2**31, 2**31) |
+        st.text(max_size=20) | st.sampled_from(list(Logic)),
+        lambda children: st.lists(children, max_size=4) |
+        st.dictionaries(st.text(max_size=5), children, max_size=4),
+        max_leaves=20))
+    def test_property_roundtrip(self, obj):
+        assert roundtrip(obj) == obj
+
+
+class TestRejections:
+    def test_module_rejected_with_ip_message(self):
+        with pytest.raises(MarshalError, match="IP protection"):
+            marshal(ModuleSkeleton("secret"))
+
+    def test_netlist_rejected_with_ip_message(self):
+        with pytest.raises(MarshalError, match="netlists never cross"):
+            marshal(array_multiplier(2))
+
+    def test_circuit_and_design_rejected(self):
+        module = ModuleSkeleton("m")
+        with pytest.raises(MarshalError, match="IP protection"):
+            marshal(Circuit(module))
+        with pytest.raises(MarshalError, match="IP protection"):
+            marshal(Design("d"))
+
+    def test_gate_rejected(self):
+        netlist = Netlist("n")
+        netlist.add_input("a")
+        gate = netlist.add_gate("BUF", ["a"], "o")
+        with pytest.raises(MarshalError, match="IP protection"):
+            marshal(gate)
+
+    def test_nested_protected_object_rejected(self):
+        """Hiding a module inside a container does not help."""
+        with pytest.raises(MarshalError):
+            marshal({"innocent": [1, 2, ModuleSkeleton("sneaky")]})
+
+    def test_arbitrary_objects_rejected(self):
+        class Custom:
+            pass
+
+        with pytest.raises(MarshalError, match="not marshallable"):
+            marshal(Custom())
+        with pytest.raises(MarshalError):
+            marshal(lambda x: x)
+
+    def test_deep_nesting_rejected(self):
+        nested = 1
+        for _ in range(40):
+            nested = [nested]
+        with pytest.raises(MarshalError, match="deeply nested"):
+            marshal(nested)
+
+
+class TestWireFormat:
+    def test_corrupt_bytes_rejected(self):
+        with pytest.raises(MarshalError):
+            unmarshal(b"\xff\x00 not json")
+        with pytest.raises(MarshalError):
+            unmarshal(b"[1, 2, 3]")  # bare list is not tagged wire data
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(MarshalError, match="unknown marshal tag"):
+            unmarshal(b'{"$t": "x:bogus", "v": 1}')
+
+    def test_no_code_execution_on_unmarshal(self):
+        """The wire format is data-only; even a malicious payload just
+        fails, it never executes (unlike pickle)."""
+        evil = (b'{"$t": "dict", "v": [["__reduce__", '
+                b'"os.system"]]}')
+        result = unmarshal(evil)
+        assert result == {"__reduce__": "os.system"}
+
+    def test_payload_size_matches(self):
+        obj = {"patterns": [(1, 2), (3, 4)]}
+        assert payload_size(obj) == len(marshal(obj))
+
+
+class TestValueTypeRegistry:
+    def test_conflicting_tag_rejected(self):
+        class A:
+            pass
+
+        class B:
+            pass
+
+        register_value_type("conflict-test", A, lambda a: None,
+                            lambda w: A())
+        with pytest.raises(MarshalError, match="already registered"):
+            register_value_type("conflict-test", B, lambda b: None,
+                                lambda w: B())
+
+    def test_re_registering_same_class_ok(self):
+        class C:
+            pass
+
+        register_value_type("re-reg-test", C, lambda c: None,
+                            lambda w: C())
+        register_value_type("re-reg-test", C, lambda c: None,
+                            lambda w: C())
+
+    def test_subclass_with_own_codec_wins(self):
+        """DetectionTable subclasses ParamValue but uses its own codec."""
+        from repro.core.signal import Logic
+        from repro.faults import DetectionTable
+
+        table = DetectionTable("comp", (Logic.ONE,), (Logic.ZERO,),
+                               {(Logic.ONE,): {"fsa0"}})
+        restored = roundtrip(table)
+        assert isinstance(restored, DetectionTable)
+        assert restored == table

@@ -1,0 +1,110 @@
+"""Wire protocol messages and the naming registry."""
+
+import pytest
+
+from repro.core import MarshalError, RemoteError, Word
+from repro.rmi import Binding, CallReply, CallRequest, Registry
+
+
+class TestCallRequest:
+    def test_roundtrip(self):
+        request = CallRequest("obj", "method", (1, Word(2, 8)),
+                              {"k": "v"}, oneway=True)
+        decoded = CallRequest.decode(request.encode())
+        assert decoded.object_name == "obj"
+        assert decoded.method == "method"
+        assert decoded.args == (1, Word(2, 8))
+        assert decoded.kwargs == {"k": "v"}
+        assert decoded.call_id == request.call_id
+        assert decoded.oneway
+
+    def test_call_ids_unique(self):
+        assert CallRequest("o", "m").call_id != \
+            CallRequest("o", "m").call_id
+
+    def test_unmarshallable_argument_rejected_at_encode(self):
+        from repro.core import ModuleSkeleton
+        request = CallRequest("o", "m", (ModuleSkeleton("x"),))
+        with pytest.raises(MarshalError):
+            request.encode()
+
+    def test_decode_rejects_wrong_kind(self):
+        reply = CallReply(1, ok=True, result=None)
+        with pytest.raises(MarshalError, match="not a call request"):
+            CallRequest.decode(reply.encode())
+
+
+class TestCallReply:
+    def test_ok_roundtrip(self):
+        reply = CallReply(7, ok=True, result=[1, 2])
+        decoded = CallReply.decode(reply.encode())
+        assert decoded.ok and decoded.result == [1, 2]
+        assert decoded.call_id == 7
+
+    def test_error_roundtrip(self):
+        reply = CallReply(8, ok=False, error="Boom: it broke")
+        decoded = CallReply.decode(reply.encode())
+        assert not decoded.ok and "Boom" in decoded.error
+
+    def test_decode_rejects_wrong_kind(self):
+        with pytest.raises(MarshalError, match="not a call reply"):
+            CallReply.decode(CallRequest("o", "m").encode())
+
+
+class Servant:
+    def visible(self):
+        return "ok"
+
+    def hidden(self):  # pragma: no cover - must never be reachable
+        return "secret"
+
+
+class TestRegistry:
+    def test_bind_and_lookup(self):
+        registry = Registry()
+        servant = Servant()
+        binding = registry.bind("obj", servant, ["visible"])
+        assert registry.lookup("obj") is binding
+        assert binding.servant is servant
+
+    def test_bind_refuses_overwrite(self):
+        registry = Registry()
+        registry.bind("obj", Servant(), ["visible"])
+        with pytest.raises(RemoteError, match="already bound"):
+            registry.bind("obj", Servant(), ["visible"])
+
+    def test_rebind_overwrites(self):
+        registry = Registry()
+        registry.bind("obj", Servant(), ["visible"])
+        replacement = Servant()
+        registry.rebind("obj", replacement, ["visible"])
+        assert registry.lookup("obj").servant is replacement
+
+    def test_unbind(self):
+        registry = Registry()
+        registry.bind("obj", Servant(), ["visible"])
+        registry.unbind("obj")
+        with pytest.raises(RemoteError, match="not bound"):
+            registry.lookup("obj")
+        with pytest.raises(RemoteError):
+            registry.unbind("obj")
+
+    def test_method_whitelist(self):
+        """The provider states which methods are remotely available;
+        everything else on the servant is unreachable."""
+        registry = Registry()
+        binding = registry.bind("obj", Servant(), ["visible"])
+        binding.check_method("visible")
+        with pytest.raises(RemoteError, match="does not export"):
+            binding.check_method("hidden")
+
+    def test_bind_requires_callable_methods(self):
+        registry = Registry()
+        with pytest.raises(RemoteError, match="no callable"):
+            registry.bind("obj", Servant(), ["nonexistent"])
+
+    def test_names_sorted(self):
+        registry = Registry()
+        registry.bind("zeta", Servant(), ["visible"])
+        registry.bind("alpha", Servant(), ["visible"])
+        assert registry.names() == ("alpha", "zeta")

@@ -1,0 +1,66 @@
+"""Security policy for downloaded (non-trusted) provider code."""
+
+import pytest
+
+from repro.core import SecurityViolationError
+from repro.rmi import SecurityPolicy, default_policy_for
+
+
+class TestDefaults:
+    def test_default_policy_is_locked_down(self):
+        policy = default_policy_for("vendor.example")
+        assert not policy.trusted
+        assert not policy.allow_filesystem
+        policy.check_connect("vendor.example")  # its own provider: ok
+
+    def test_file_access_denied(self):
+        policy = default_policy_for("vendor.example")
+        with pytest.raises(SecurityViolationError, match="file access"):
+            policy.check_file_access("/etc/passwd")
+        with pytest.raises(SecurityViolationError):
+            policy.check_file_access("~/design.v", mode="w")
+
+    def test_foreign_connect_denied(self):
+        policy = default_policy_for("vendor.example")
+        with pytest.raises(SecurityViolationError, match="connect"):
+            policy.check_connect("competitor.example")
+
+    def test_exec_denied(self):
+        policy = default_policy_for("vendor.example")
+        with pytest.raises(SecurityViolationError, match="execution"):
+            policy.check_exec("rm -rf /")
+
+
+class TestRelaxation:
+    def test_user_can_relax_filesystem(self):
+        policy = default_policy_for("vendor.example")
+        policy.relax(filesystem=True)
+        policy.check_file_access("/tmp/scratch")  # now allowed
+
+    def test_user_can_relax_hosts(self):
+        policy = default_policy_for("vendor.example")
+        policy.relax(hosts=["mirror.example"])
+        policy.check_connect("mirror.example")
+        with pytest.raises(SecurityViolationError):
+            policy.check_connect("still.blocked.example")
+
+    def test_extra_hosts_at_construction(self):
+        policy = SecurityPolicy("vendor.example",
+                                extra_hosts=["cdn.example"])
+        policy.check_connect("cdn.example")
+
+    def test_trusted_policy_allows_everything(self):
+        policy = SecurityPolicy("vendor.example", trusted=True)
+        policy.check_connect("anywhere.example")
+        policy.check_file_access("/etc/passwd")
+        policy.check_exec("anything")
+
+
+class TestViolationLog:
+    def test_violations_are_recorded(self):
+        policy = default_policy_for("vendor.example")
+        for _ in range(3):
+            with pytest.raises(SecurityViolationError):
+                policy.check_file_access("/secret")
+        assert len(policy.violations) == 3
+        assert all("denied" in message for message in policy.violations)

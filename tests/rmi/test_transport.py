@@ -1,0 +1,158 @@
+"""In-process transport: call semantics and virtual-time accounting."""
+
+import pytest
+
+from repro.core import RemoteError, Word
+from repro.net import CostModel, VirtualClock
+from repro.net.model import LAN, LOCALHOST, WAN, NetworkModel
+from repro.rmi import (InProcessTransport, JavaCADServer, RemoteStub,
+                       SecurityPolicy, current_server_context)
+
+
+class EchoServant:
+    def echo(self, value):
+        return value
+
+    def boom(self):
+        raise ValueError("servant exploded")
+
+    def charge_heavily(self):
+        current_server_context().charge(2.0)
+        return "done"
+
+
+@pytest.fixture
+def server():
+    server = JavaCADServer("test.provider")
+    server.bind("echo", EchoServant(), ["echo", "boom", "charge_heavily"])
+    return server
+
+
+class TestInvoke:
+    def test_result_travels(self, server):
+        transport = server.connect(LOCALHOST)
+        assert transport.invoke("echo", "echo", (Word(5, 8),)) == \
+            Word(5, 8)
+
+    def test_servant_exception_becomes_remote_error(self, server):
+        transport = server.connect(LOCALHOST)
+        with pytest.raises(RemoteError, match="servant exploded"):
+            transport.invoke("echo", "boom")
+        assert transport.stats.errors == 1
+
+    def test_unknown_object_and_method(self, server):
+        transport = server.connect(LOCALHOST)
+        with pytest.raises(RemoteError, match="not bound"):
+            transport.invoke("ghost", "echo")
+        with pytest.raises(RemoteError, match="does not export"):
+            transport.invoke("echo", "__class__")
+
+    def test_stats_counting(self, server):
+        transport = server.connect(LOCALHOST)
+        transport.invoke("echo", "echo", (1,))
+        transport.invoke("echo", "echo", (2,), oneway=True)
+        assert transport.stats.calls == 2
+        assert transport.stats.oneway_calls == 1
+        assert transport.stats.bytes_sent > 0
+
+    def test_calls_served_counter(self, server):
+        transport = server.connect(LOCALHOST)
+        transport.invoke("echo", "echo", (1,))
+        assert server.calls_served == 1
+
+
+class TestTimeAccounting:
+    def test_blocking_call_waits_network(self, server):
+        clock = VirtualClock()
+        transport = server.connect(WAN, clock=clock)
+        transport.invoke("echo", "echo", ("x" * 100,))
+        # At least two WAN latencies of wall time beyond the CPU part.
+        assert clock.wall - clock.cpu >= 2 * WAN.latency
+
+    def test_oneway_call_does_not_wait(self, server):
+        clock = VirtualClock()
+        transport = server.connect(WAN, clock=clock)
+        transport.invoke("echo", "echo", ("x",), oneway=True)
+        assert clock.wall == pytest.approx(clock.cpu)
+        clock.sync()
+        assert clock.wall > clock.cpu
+
+    def test_marshalling_cpu_charged(self, server):
+        clock = VirtualClock()
+        cost = CostModel()
+        transport = server.connect(LOCALHOST, clock=clock,
+                                   cost_model=cost)
+        transport.invoke("echo", "echo", (1,))
+        assert clock.cpu >= cost.marshal_call
+
+    def test_bigger_payload_costs_more_wall(self, server):
+        def wall_for(payload):
+            clock = VirtualClock()
+            transport = server.connect(LAN, clock=clock)
+            transport.invoke("echo", "echo", (payload,))
+            return clock.wall - clock.cpu
+
+        assert wall_for("x" * 5000) > wall_for("x")
+
+    def test_server_cpu_recorded(self, server):
+        clock = VirtualClock()
+        transport = server.connect(LAN, clock=clock)
+        transport.invoke("echo", "charge_heavily")
+        assert clock.server_cpu >= 2.0
+        assert clock.wall < 2.0 + clock.cpu + 1.0  # not on client wall
+
+    def test_shared_host_server_cpu_hits_wall(self, server):
+        clock = VirtualClock()
+        transport = server.connect(LOCALHOST, clock=clock)
+        transport.invoke("echo", "charge_heavily")
+        assert clock.wall >= 2.0
+
+    def test_oneway_transfers_queue_on_the_link(self, server):
+        """Back-to-back non-blocking transfers share one physical link:
+        total completion time is the sum, not the max."""
+        clock = VirtualClock()
+        transport = server.connect(WAN, clock=clock)
+        for _ in range(5):
+            transport.invoke("echo", "echo", ("y" * 200,), oneway=True)
+        clock.sync()
+        single = WAN.call_time(
+            int(transport.stats.bytes_sent / 5 *
+                CostModel().wire_overhead_factor))
+        assert clock.wall > 4 * single
+
+
+class TestSecurityIntegration:
+    def test_policy_blocks_foreign_server(self, server):
+        from repro.core import SecurityViolationError
+        policy = SecurityPolicy("some.other.provider")
+        transport = InProcessTransport(server, LOCALHOST, policy=policy)
+        with pytest.raises(SecurityViolationError):
+            transport.invoke("echo", "echo", (1,))
+
+    def test_policy_allows_own_server(self, server):
+        policy = SecurityPolicy("test.provider")
+        transport = InProcessTransport(server, LOCALHOST, policy=policy)
+        assert transport.invoke("echo", "echo", (1,)) == 1
+
+
+class TestStub:
+    def test_attribute_proxy(self, server):
+        stub = RemoteStub(server.connect(LOCALHOST), "echo", ["echo"])
+        assert stub.echo(41) == 41
+        assert stub.calls == 1
+
+    def test_unknown_method(self, server):
+        stub = RemoteStub(server.connect(LOCALHOST), "echo", ["echo"])
+        with pytest.raises(AttributeError):
+            stub.boom()
+        with pytest.raises(RemoteError, match="exports no method"):
+            stub.invoke("boom")
+
+    def test_read_only(self, server):
+        stub = RemoteStub(server.connect(LOCALHOST), "echo", ["echo"])
+        with pytest.raises(AttributeError, match="read-only"):
+            stub.echo = lambda: None
+
+    def test_oneway_helper(self, server):
+        stub = RemoteStub(server.connect(LOCALHOST), "echo", ["echo"])
+        assert stub.invoke_oneway("echo", 1) is None

@@ -1,0 +1,125 @@
+"""RT-level sequential behavioural modules."""
+
+import pytest
+
+from repro.core import (BitConnector, Circuit, ClockGenerator, DesignError,
+                        PatternPrimaryInput, PrimaryOutput,
+                        SimulationController, Word, WordConnector)
+from repro.rtl import Accumulator, Counter, MooreMachine
+
+
+def clocked_run(modules, out, max_time=None):
+    controller = SimulationController(Circuit(*modules))
+    controller.start(max_time=max_time)
+    return controller
+
+
+class TestCounter:
+    def test_counts_rising_edges(self):
+        clk, q = BitConnector(), WordConnector(4)
+        clock = ClockGenerator(clk, period=2.0, cycles=5,
+                               start_high=False, name="CLK")
+        counter = Counter(4, clk, q, name="CNT")
+        out = PrimaryOutput(4, q, name="OUT")
+        controller = clocked_run([clock, counter, out], out)
+        # The first rising edge emits the start value, then increments.
+        values = [v.value for _t, v in out.trace(controller.context)]
+        assert values == [0, 1, 2, 3, 4]
+        assert counter.count(controller.context) == 4
+
+    def test_wraps_at_width(self):
+        clk, q = BitConnector(), WordConnector(2)
+        clock = ClockGenerator(clk, period=2.0, cycles=5,
+                               start_high=False, name="CLK")
+        counter = Counter(2, clk, q, name="CNT")
+        out = PrimaryOutput(2, q, name="OUT")
+        controller = clocked_run([clock, counter, out], out)
+        values = [v.value for _t, v in out.trace(controller.context)]
+        assert values == [0, 1, 2, 3, 0]
+
+    def test_step_and_start(self):
+        clk, q = BitConnector(), WordConnector(8)
+        clock = ClockGenerator(clk, period=2.0, cycles=3,
+                               start_high=False, name="CLK")
+        counter = Counter(8, clk, q, step=10, start=5, name="CNT")
+        out = PrimaryOutput(8, q, name="OUT")
+        controller = clocked_run([clock, counter, out], out)
+        values = [v.value for _t, v in out.trace(controller.context)]
+        assert values == [5, 15, 25]
+
+    def test_no_count_before_first_edge(self):
+        clk, q = BitConnector(), WordConnector(4)
+        counter = Counter(4, clk, q, name="CNT")
+        out = PrimaryOutput(4, q, name="OUT")
+        controller = clocked_run([counter, out], out)
+        assert counter.count(controller.context) is None
+
+
+class TestAccumulator:
+    def test_accumulates_on_edges(self):
+        clk = BitConnector()
+        d, q = WordConnector(8), WordConnector(8)
+        # Data changes at t=0,1,2,...; rising edges at t=1,3,5.
+        data = PatternPrimaryInput(8, [10, 10, 20, 20, 30, 30], d,
+                                   name="IND")
+        clock = ClockGenerator(clk, period=2.0, cycles=3,
+                               start_high=False, name="CLK")
+        accumulator = Accumulator(8, d, clk, q, name="ACC")
+        out = PrimaryOutput(8, q, name="OUT")
+        controller = clocked_run([data, clock, accumulator, out], out)
+        values = [v.value for _t, v in out.trace(controller.context)]
+        assert values == [10, 30, 60]
+
+    def test_unknown_data_skipped(self):
+        clk = BitConnector()
+        d, q = WordConnector(8), WordConnector(8)
+        clock = ClockGenerator(clk, period=2.0, cycles=2,
+                               start_high=False, name="CLK")
+        accumulator = Accumulator(8, d, clk, q, name="ACC")
+        out = PrimaryOutput(8, q, name="OUT")
+        controller = clocked_run([clock, accumulator, out], out)
+        assert out.trace(controller.context) == []
+
+
+class TestMooreMachine:
+    def test_transition_table(self):
+        # A 2-state toggle machine: symbol 1 flips the state.
+        transitions = {(0, 1): 1, (1, 1): 0, (0, 0): 0, (1, 0): 1}
+        outputs = {0: 100, 1: 200}
+        clk = BitConnector()
+        d, q = WordConnector(8), WordConnector(8)
+        data = PatternPrimaryInput(8, [1, 1, 1, 1, 0, 0], d, name="IND")
+        clock = ClockGenerator(clk, period=2.0, cycles=3,
+                               start_high=False, name="CLK")
+        machine = MooreMachine(8, d, clk, q, transitions, outputs,
+                               name="FSM")
+        out = PrimaryOutput(8, q, name="OUT")
+        controller = clocked_run([data, clock, machine, out], out)
+        values = [v.value for _t, v in out.trace(controller.context)]
+        assert values == [200, 100, 100]
+        assert machine.current_state(controller.context) == 0
+
+    def test_missing_transition_self_loops(self):
+        transitions = {}
+        clk = BitConnector()
+        d, q = WordConnector(4), WordConnector(4)
+        data = PatternPrimaryInput(4, [7, 7], d, name="IND")
+        clock = ClockGenerator(clk, period=2.0, cycles=1,
+                               start_high=False, name="CLK")
+        machine = MooreMachine(4, d, clk, q, transitions, {0: 3},
+                               initial_state=0, name="FSM")
+        out = PrimaryOutput(4, q, name="OUT")
+        controller = clocked_run([data, clock, machine, out], out)
+        assert machine.current_state(controller.context) == 0
+        assert out.last_value(controller.context) == Word(3, 4)
+
+
+class TestClockValidation:
+    def test_non_logic_clock_rejected(self):
+        clk = WordConnector(4)  # wrong: clock must be a bit connector
+        q = WordConnector(4)
+        counter = Counter(4, None, q, name="CNT")
+        # Building with a word connector on the clk port fails at the
+        # port width check already.
+        with pytest.raises(Exception):
+            clk.attach(counter.port("clk"))
