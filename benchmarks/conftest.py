@@ -1,0 +1,27 @@
+"""Benchmark-session telemetry hook.
+
+Set ``REPRO_TRACE_OUT`` and/or ``REPRO_METRICS_OUT`` to file paths when
+running ``pytest benchmarks/`` and the whole benchmark session runs
+with :mod:`repro.telemetry` enabled, dumping a Chrome trace and/or a
+JSON metrics snapshot on exit::
+
+    REPRO_TRACE_OUT=trace.json PYTHONPATH=src pytest benchmarks/ -q
+"""
+
+import os
+
+import pytest
+
+from repro.bench.reporting import telemetry_session
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _benchmark_telemetry():
+    trace_out = os.environ.get("REPRO_TRACE_OUT")
+    metrics_out = os.environ.get("REPRO_METRICS_OUT")
+    if not trace_out and not metrics_out:
+        yield
+        return
+    with telemetry_session(trace_out=trace_out or None,
+                           metrics_out=metrics_out or None):
+        yield

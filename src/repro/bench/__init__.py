@@ -4,7 +4,8 @@ from .faultbench import (EmbeddedExperiment, Figure4Setup,
                          PublicFunctionalModel, build_embedded,
                          build_figure4, build_sequential_wrapper, figure4_flat_netlist,
                          figure4_internal_faults, functional_model_of)
-from .reporting import ascii_plot, format_series, format_table
+from .reporting import (ascii_plot, dump_metrics, dump_summary, dump_trace,
+                        format_series, format_table, telemetry_session)
 from .scenarios import (DEFAULT_BUFFER, DEFAULT_PATTERNS, DEFAULT_WIDTH,
                         SCENARIOS, Figure2Design, ScenarioResult,
                         run_buffer_sweep, run_scenario, run_table2,
@@ -17,7 +18,8 @@ __all__ = [
     "EmbeddedExperiment", "Figure4Setup", "PublicFunctionalModel",
     "build_embedded", "build_figure4", "build_sequential_wrapper", "figure4_flat_netlist",
     "figure4_internal_faults", "functional_model_of",
-    "ascii_plot", "format_series", "format_table",
+    "ascii_plot", "dump_metrics", "dump_summary", "dump_trace",
+    "format_series", "format_table", "telemetry_session",
     "DEFAULT_BUFFER", "DEFAULT_PATTERNS", "DEFAULT_WIDTH", "SCENARIOS",
     "Figure2Design", "ScenarioResult", "run_buffer_sweep", "run_scenario",
     "run_table2", "shared_provider",

@@ -1,13 +1,44 @@
-"""Plain-text table/series formatting for the benchmark harnesses.
+"""Plain-text table/series formatting and the benchmark telemetry hook.
 
 The benchmarks print the same rows and series the paper reports, so a
 run's console output can be compared to Tables 1-2 / Figure 3 at a
 glance; EXPERIMENTS.md records the comparison permanently.
+
+This module is also the benchmarks' doorway into
+:mod:`repro.telemetry`: wrap any harness call in
+:func:`telemetry_session` (or set ``REPRO_TRACE_OUT`` /
+``REPRO_METRICS_OUT`` when running ``pytest benchmarks/``) and the run
+dumps a Chrome trace and/or a JSON metrics snapshot.  See
+``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Sequence, Tuple
+
+from ..telemetry import (TELEMETRY, export_chrome_trace,
+                         export_metrics_json, export_summary,
+                         telemetry_session)
+
+__all__ = [
+    "ascii_plot", "dump_metrics", "dump_summary", "dump_trace",
+    "format_series", "format_table", "telemetry_session",
+]
+
+
+def dump_trace(path: str) -> None:
+    """Write the global tracer's spans as a Chrome trace file."""
+    export_chrome_trace(TELEMETRY.tracer, path)
+
+
+def dump_metrics(path: str) -> None:
+    """Write the global metrics registry as a JSON snapshot."""
+    export_metrics_json(TELEMETRY.metrics, path)
+
+
+def dump_summary(path: str) -> None:
+    """Write combined metrics + per-span aggregates as JSON."""
+    export_summary(TELEMETRY.metrics, TELEMETRY.tracer, path)
 
 
 def format_table(headers: Sequence[str],

@@ -217,7 +217,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the JavaCAD paper's experiments.")
-    subparsers = parser.add_subparsers(dest="command", required=True)
+    # Telemetry options shared by every subcommand (after the command):
+    # repro-bench table2 --trace-out trace.json --metrics-out metrics.json
+    telemetry = argparse.ArgumentParser(add_help=False)
+    telemetry.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write a Chrome about:tracing trace of the run to FILE")
+    telemetry.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write a JSON metrics snapshot of the run to FILE")
+    subparsers = parser.add_subparsers(dest="command", required=True,
+                                       parser_class=lambda **kw:
+                                       argparse.ArgumentParser(
+                                           parents=[telemetry], **kw))
 
     table1 = subparsers.add_parser(
         "table1", help="power-estimator comparison (Table 1)")
@@ -283,7 +295,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out is None and metrics_out is None:
+        return args.fn(args)
+    from contextlib import ExitStack
+
+    from .telemetry import telemetry_session
+
+    with ExitStack() as stack:
+        # Open the output files before running so a bad path fails
+        # fast instead of discarding a completed run.
+        try:
+            trace_file = stack.enter_context(open(trace_out, "w")) \
+                if trace_out else None
+            metrics_file = stack.enter_context(open(metrics_out, "w")) \
+                if metrics_out else None
+        except OSError as exc:
+            parser.error(f"cannot write telemetry output: {exc}")
+        with telemetry_session(trace_out=trace_file,
+                               metrics_out=metrics_file):
+            code = args.fn(args)
+    if trace_out:
+        print(f"trace written to {trace_out} "
+              f"(load it in chrome://tracing or ui.perfetto.dev)")
+    if metrics_out:
+        print(f"metrics written to {metrics_out}")
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - direct invocation

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from ..net.clock import CostModel, VirtualClock
+from ..telemetry.runtime import TELEMETRY
 from .design import Circuit
 from .errors import SimulationError
 from .module import HandlerOverride, ModuleSkeleton
@@ -198,37 +199,57 @@ class SimulationController:
         stats = SimulationStats()
         cpu0, wall0 = self.clock.cpu, self.clock.wall
         current_instant: Optional[float] = None
+        run_span = None
+        if TELEMETRY.enabled:
+            run_span = TELEMETRY.tracer.span(
+                "scheduler.run", category="scheduler", clock=self.clock,
+                args={"scheduler": self.scheduler.name,
+                      "controller": self.name}).start()
+        try:
+            while not self.scheduler.empty:
+                next_time = self.scheduler.next_time()
+                if max_time is not None and next_time is not None \
+                        and next_time > max_time:
+                    break
+                if current_instant is not None and next_time is not None \
+                        and next_time > current_instant:
+                    self._end_of_instant(current_instant)
+                    stats.instants += 1
+                token = self.scheduler.pop()
+                current_instant = token.time
+                self.clock.charge_cpu(
+                    self.cost.event_dispatch
+                    + token.target.event_cost(self.cost, token))
+                if isinstance(token, SignalToken) and \
+                        token.port.connector is not None:
+                    token.port.connector.set_value(
+                        self.scheduler.scheduler_id, token.value)
+                for observer in self._observers:
+                    observer(token, self._context)
+                if TELEMETRY.enabled:
+                    with TELEMETRY.tracer.span(
+                            "scheduler.deliver", category="scheduler",
+                            clock=self.clock,
+                            args={"scheduler": self.scheduler.name,
+                                  "token": type(token).__name__,
+                                  "target": token.target.name,
+                                  "sim_time": token.time}):
+                        token.target.receive(token, self._context)
+                else:
+                    token.target.receive(token, self._context)
+                stats.events += 1
+                if max_events is not None and stats.events >= max_events:
+                    break
 
-        while not self.scheduler.empty:
-            next_time = self.scheduler.next_time()
-            if max_time is not None and next_time is not None \
-                    and next_time > max_time:
-                break
-            if current_instant is not None and next_time is not None \
-                    and next_time > current_instant:
+            if current_instant is not None:
                 self._end_of_instant(current_instant)
                 stats.instants += 1
-            token = self.scheduler.pop()
-            current_instant = token.time
-            self.clock.charge_cpu(
-                self.cost.event_dispatch
-                + token.target.event_cost(self.cost, token))
-            if isinstance(token, SignalToken) and \
-                    token.port.connector is not None:
-                token.port.connector.set_value(
-                    self.scheduler.scheduler_id, token.value)
-            for observer in self._observers:
-                observer(token, self._context)
-            token.target.receive(token, self._context)
-            stats.events += 1
-            if max_events is not None and stats.events >= max_events:
-                break
-
-        if current_instant is not None:
-            self._end_of_instant(current_instant)
-            stats.instants += 1
-            stats.end_time = current_instant
-        self.clock.sync()
+                stats.end_time = current_instant
+            self.clock.sync()
+        finally:
+            if run_span is not None:
+                run_span.set("events", stats.events)
+                run_span.finish()
         stats.cpu = self.clock.cpu - cpu0
         stats.wall = self.clock.wall - wall0
         return stats

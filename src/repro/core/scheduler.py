@@ -14,10 +14,14 @@ import heapq
 import itertools
 from typing import List, Optional, Tuple
 
+from ..telemetry.runtime import TELEMETRY
 from .errors import SchedulerInterferenceError, SimulationError
 from .token import Token
 
 _scheduler_ids = itertools.count(1)
+
+#: Histogram edges for schedule() delays, in simulated seconds.
+_DELAY_BUCKETS = (0.0, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
 
 
 class Scheduler:
@@ -54,6 +58,14 @@ class Scheduler:
         token.scheduler_id = self.scheduler_id
         token.time = self.now + delay
         heapq.heappush(self._queue, (token.time, next(self._seq), token))
+        if TELEMETRY.enabled:
+            metrics = TELEMETRY.metrics
+            metrics.counter("scheduler.scheduled").inc()
+            metrics.histogram("scheduler.delay",
+                              buckets=_DELAY_BUCKETS).observe(delay)
+            metrics.gauge("scheduler.pending",
+                          labels={"scheduler": self.name}
+                          ).set(len(self._queue))
 
     # -- queue inspection ----------------------------------------------------
 
@@ -82,6 +94,12 @@ class Scheduler:
         time, _seq, token = heapq.heappop(self._queue)
         self.now = time
         self.events_delivered += 1
+        if TELEMETRY.enabled:
+            metrics = TELEMETRY.metrics
+            metrics.counter("scheduler.delivered").inc()
+            metrics.gauge("scheduler.pending",
+                          labels={"scheduler": self.name}
+                          ).set(len(self._queue))
         return token
 
     def clear(self) -> None:

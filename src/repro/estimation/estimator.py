@@ -15,11 +15,13 @@ take an additional, unpredictable amount of time.
 
 from __future__ import annotations
 
+import time
 from typing import (TYPE_CHECKING, Any, Callable, Optional, Sequence,
                     Tuple)
 
 from ..core.errors import EstimationError
 from ..core.module import ModuleSkeleton
+from ..telemetry.runtime import TELEMETRY
 from .parameter import NullValue, ParamValue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -66,11 +68,42 @@ class EstimatorSkeleton:
     def estimate(self, module: ModuleSkeleton,
                  ctx: "SimulationContext") -> ParamValue:
         """Evaluate the parameter for ``module`` and wrap the result."""
-        value = self.estimation(module, ctx)
+        if TELEMETRY.enabled:
+            value = self._traced_estimation(module, ctx)
+        else:
+            value = self.estimation(module, ctx)
         if isinstance(value, ParamValue):
             return value
         return ParamValue(self.parameter, value, self.units,
                           self.expected_error, self.name)
+
+    def _traced_estimation(self, module: ModuleSkeleton,
+                           ctx: "SimulationContext") -> Any:
+        """The evaluation wrapped in a span, comparing measured CPU
+        time against the estimator's declared ``cpu_time`` metadata."""
+        with TELEMETRY.tracer.span(
+                f"estimate:{self.name}", category="estimator",
+                clock=getattr(ctx, "clock", None),
+                args={"estimator": self.name,
+                      "parameter": self.parameter,
+                      "module": module.name,
+                      "declared_cpu_s": self.cpu_time,
+                      "declared_cost_cents": self.cost,
+                      "remote": self.remote}) as span:
+            cpu_begin = time.process_time()
+            value = self.estimation(module, ctx)
+            measured_cpu = time.process_time() - cpu_begin
+            span.set("measured_cpu_s", measured_cpu)
+            metrics = TELEMETRY.metrics
+            labels = {"estimator": self.name}
+            metrics.counter("estimator.invocations", labels=labels).inc()
+            metrics.histogram("estimator.cpu_seconds",
+                              labels=labels).observe(measured_cpu)
+            metrics.counter("estimator.measured_cpu_seconds",
+                            labels=labels).inc(measured_cpu)
+            metrics.counter("estimator.declared_cpu_seconds",
+                            labels=labels).inc(self.cpu_time)
+        return value
 
     def estimation(self, module: ModuleSkeleton,
                    ctx: "SimulationContext") -> Any:

@@ -26,6 +26,7 @@ from typing import Any, Optional, Sequence, Tuple
 from ..core.errors import RemoteError
 from ..net.clock import CostModel, VirtualClock
 from ..net.model import NetworkModel
+from ..telemetry.runtime import TELEMETRY
 from .protocol import CallReply, CallRequest
 from .registry import Binding, Registry
 
@@ -98,6 +99,15 @@ class JavaCADServer:
         context.charge(self.cost.server_dispatch)
         _thread_state.server_context = context
         self.calls_served += 1
+        span = None
+        if TELEMETRY.enabled:
+            span = TELEMETRY.tracer.span(
+                "rmi.dispatch", category="rmi", clock=clock,
+                args={"server": self.host_name,
+                      "object": request.object_name,
+                      "method": request.method}).start()
+            TELEMETRY.metrics.counter(
+                "rmi.dispatch.calls", labels={"server": self.host_name}).inc()
         try:
             binding = self.registry.lookup(request.object_name)
             binding.check_method(request.method)
@@ -105,9 +115,17 @@ class JavaCADServer:
             result = method(*request.args, **request.kwargs)
             return CallReply(request.call_id, ok=True, result=result)
         except Exception as exc:  # noqa: BLE001 - servant faults must travel
+            if span is not None:
+                span.set("error", f"{type(exc).__name__}: {exc}")
+                TELEMETRY.metrics.counter(
+                    "rmi.dispatch.errors",
+                    labels={"server": self.host_name}).inc()
             return CallReply(request.call_id, ok=False,
                              error=f"{type(exc).__name__}: {exc}")
         finally:
+            if span is not None:
+                span.set("server_cpu_s", context.charged)
+                span.finish()
             _thread_state.server_context = None
 
     # ------------------------------------------------------------------

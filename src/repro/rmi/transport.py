@@ -18,12 +18,15 @@ from __future__ import annotations
 import socket
 import struct
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from ..core.errors import RemoteError
 from ..net.clock import CostModel, VirtualClock
 from ..net.model import NetworkModel
+from ..telemetry.metrics import DEFAULT_BYTES_BUCKETS
+from ..telemetry.runtime import TELEMETRY
 from .protocol import CallReply, CallRequest
 from .security import SecurityPolicy
 from .server import JavaCADServer
@@ -53,6 +56,26 @@ class Transport:
 
     def __init__(self) -> None:
         self.stats = TransportStats()
+
+    def _account(self, span: Any, kind: str, sent: int, received: int,
+                 oneway: bool, marshal_seconds: float) -> None:
+        """Record one call's telemetry (only called when enabled)."""
+        span.set("request_bytes", sent)
+        span.set("reply_bytes", received)
+        span.set("marshal_wall_s", marshal_seconds)
+        metrics = TELEMETRY.metrics
+        labels = {"transport": kind}
+        metrics.counter("rmi.calls", labels=labels).inc()
+        if oneway:
+            metrics.counter("rmi.oneway_calls", labels=labels).inc()
+        metrics.histogram("rmi.request_bytes",
+                          buckets=DEFAULT_BYTES_BUCKETS,
+                          labels=labels).observe(sent)
+        metrics.histogram("rmi.reply_bytes",
+                          buckets=DEFAULT_BYTES_BUCKETS,
+                          labels=labels).observe(received)
+        metrics.counter("rmi.marshal_wall_seconds",
+                        labels=labels).inc(marshal_seconds)
 
     def invoke(self, object_name: str, method: str,
                args: Tuple[Any, ...] = (),
@@ -100,10 +123,25 @@ class InProcessTransport(Transport):
                args: Tuple[Any, ...] = (),
                kwargs: Optional[Dict[str, Any]] = None,
                oneway: bool = False) -> Any:
+        if TELEMETRY.enabled:
+            with TELEMETRY.tracer.span(
+                    "rmi.invoke", category="rmi", clock=self.clock,
+                    args={"object": object_name, "method": method,
+                          "transport": "in-process",
+                          "oneway": oneway}) as span:
+                return self._invoke(object_name, method, args, kwargs,
+                                    oneway, span)
+        return self._invoke(object_name, method, args, kwargs, oneway, None)
+
+    def _invoke(self, object_name: str, method: str,
+                args: Tuple[Any, ...],
+                kwargs: Optional[Dict[str, Any]],
+                oneway: bool, span: Optional[Any]) -> Any:
         if self.policy is not None:
             self.policy.check_connect(self.server.host_name)
         request = CallRequest(object_name, method, tuple(args),
                               dict(kwargs or {}), oneway=oneway)
+        marshal_begin = time.perf_counter() if span is not None else 0.0
         request_bytes = request.encode()
         self.clock.charge_cpu(self.cost.marshal_call
                               + self.cost.marshal_per_byte
@@ -119,6 +157,11 @@ class InProcessTransport(Transport):
             int(len(request_bytes) * factor),
             int(len(reply_bytes) * factor))
         self.stats.record(len(request_bytes), len(reply_bytes), oneway)
+        if span is not None:
+            self._account(span, "in-process", len(request_bytes),
+                          len(reply_bytes), oneway,
+                          time.perf_counter() - marshal_begin)
+            span.set("network_time_s", network_time)
         if oneway:
             # Non-blocking transfers still share one physical link: each
             # starts when the link frees up, so back-to-back buffers queue
@@ -135,12 +178,21 @@ class InProcessTransport(Transport):
         decoded = CallReply.decode(reply_bytes)
         if not decoded.ok:
             self.stats.errors += 1
+            if span is not None:
+                TELEMETRY.metrics.counter(
+                    "rmi.errors", labels={"transport": "in-process"}).inc()
             raise RemoteError(decoded.error or "remote call failed")
         return decoded.result
 
 
 class TcpTransport(Transport):
-    """A real socket transport speaking the framed wire protocol."""
+    """A real socket transport speaking the framed wire protocol.
+
+    Socket-level failures (connection refused, resets, truncated
+    frames, timeouts) are counted in ``stats.errors`` and tear down the
+    cached socket, so the next invoke reconnects from a clean state
+    instead of reusing a desynchronized stream.
+    """
 
     def __init__(self, host: str, port: int,
                  policy: Optional[SecurityPolicy] = None,
@@ -162,23 +214,67 @@ class TcpTransport(Transport):
             self._socket = connection
         return self._socket
 
+    def _close_locked(self) -> None:
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:  # pragma: no cover - close is best effort
+                pass
+            self._socket = None
+
     def invoke(self, object_name: str, method: str,
                args: Tuple[Any, ...] = (),
                kwargs: Optional[Dict[str, Any]] = None,
                oneway: bool = False) -> Any:
+        if TELEMETRY.enabled:
+            with TELEMETRY.tracer.span(
+                    "rmi.invoke", category="rmi",
+                    args={"object": object_name, "method": method,
+                          "transport": "tcp", "host": self.host,
+                          "oneway": oneway}) as span:
+                return self._invoke(object_name, method, args, kwargs,
+                                    oneway, span)
+        return self._invoke(object_name, method, args, kwargs, oneway, None)
+
+    def _invoke(self, object_name: str, method: str,
+                args: Tuple[Any, ...],
+                kwargs: Optional[Dict[str, Any]],
+                oneway: bool, span: Optional[Any]) -> Any:
         request = CallRequest(object_name, method, tuple(args),
                               dict(kwargs or {}), oneway=oneway)
+        marshal_begin = time.perf_counter() if span is not None else 0.0
         payload = request.encode()
         with self._lock:
-            connection = self._ensure_socket()
-            connection.sendall(struct.pack(">I", len(payload)) + payload)
-            reply_bytes = self._read_frame(connection)
+            try:
+                connection = self._ensure_socket()
+                connection.sendall(struct.pack(">I", len(payload)) + payload)
+                reply_bytes = self._read_frame(connection)
+            except (OSError, RemoteError) as exc:
+                # Socket-level failure: account it and drop the socket so
+                # a later invoke starts from a clean connection.
+                self.stats.errors += 1
+                self._close_locked()
+                if span is not None:
+                    TELEMETRY.metrics.counter(
+                        "rmi.errors", labels={"transport": "tcp"}).inc()
+                if isinstance(exc, RemoteError):
+                    raise
+                raise RemoteError(
+                    f"transport failure calling "
+                    f"{object_name}.{method} on {self.host}:{self.port}: "
+                    f"{exc}") from exc
         self.stats.record(len(payload), len(reply_bytes), oneway)
         reply = CallReply.decode(reply_bytes)
+        if span is not None:
+            self._account(span, "tcp", len(payload), len(reply_bytes),
+                          oneway, time.perf_counter() - marshal_begin)
         if oneway:
             return None
         if not reply.ok:
             self.stats.errors += 1
+            if span is not None:
+                TELEMETRY.metrics.counter(
+                    "rmi.errors", labels={"transport": "tcp"}).inc()
             raise RemoteError(reply.error or "remote call failed")
         return reply.result
 
@@ -200,6 +296,4 @@ class TcpTransport(Transport):
 
     def close(self) -> None:
         with self._lock:
-            if self._socket is not None:
-                self._socket.close()
-                self._socket = None
+            self._close_locked()

@@ -122,8 +122,11 @@ class TestDeadTransport:
 
     def test_connect_to_nothing_fails_cleanly(self):
         transport = TcpTransport("127.0.0.1", 1)  # nothing listens here
-        with pytest.raises(OSError):
+        # Socket-level failures surface as RemoteError (one exception
+        # type for all remote-call failures) and are accounted.
+        with pytest.raises(RemoteError, match="transport failure"):
             transport.invoke("x", "y")
+        assert transport.stats.errors == 1
 
 
 class TestMalformedProviderData:

@@ -1,0 +1,115 @@
+"""Exporters: Chrome trace round-trip and metrics JSON."""
+
+import json
+
+import pytest
+
+from repro.net.clock import VirtualClock
+from repro.telemetry.export import (chrome_trace_events,
+                                    export_chrome_trace,
+                                    export_metrics_json, export_summary,
+                                    span_summary)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import Tracer
+
+
+def _traced_work(tracer):
+    clock = VirtualClock()
+    with tracer.span("outer", category="scheduler", clock=clock):
+        clock.charge_cpu(1.0)
+        with tracer.span("inner", category="rmi", clock=clock,
+                         args={"method": "estimate"}):
+            clock.charge_cpu(0.5)
+    return clock
+
+
+class TestChromeTrace:
+    def test_round_trip_is_valid_json_with_monotonic_ts(self, tmp_path):
+        tracer = Tracer()
+        for _ in range(5):
+            _traced_work(tracer)
+        path = tmp_path / "trace.json"
+        export_chrome_trace(tracer, str(path))
+
+        loaded = json.loads(path.read_text())
+        events = loaded["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        assert len(spans) == 10
+        timestamps = [e["ts"] for e in spans]
+        assert timestamps == sorted(timestamps)
+        assert all(e["ts"] >= 0 for e in spans)
+        assert all(e["dur"] >= 0 for e in spans)
+        for event in spans:
+            assert {"name", "cat", "ph", "ts", "dur", "pid",
+                    "tid", "args"} <= set(event)
+
+    def test_events_carry_dual_timestamps(self):
+        tracer = Tracer()
+        _traced_work(tracer)
+        spans = [e for e in chrome_trace_events(tracer)
+                 if e["ph"] == "X"]
+        inner = next(e for e in spans if e["name"] == "inner")
+        assert inner["args"]["virtual_start_s"] == 1.0
+        assert inner["args"]["virtual_end_s"] == 1.5
+        assert inner["args"]["virtual_duration_s"] == pytest.approx(0.5)
+        assert inner["args"]["method"] == "estimate"
+
+    def test_parent_ids_travel_in_args(self):
+        tracer = Tracer()
+        _traced_work(tracer)
+        spans = [e for e in chrome_trace_events(tracer)
+                 if e["ph"] == "X"]
+        outer = next(e for e in spans if e["name"] == "outer")
+        inner = next(e for e in spans if e["name"] == "inner")
+        assert inner["args"]["parent_span_id"] == \
+            outer["args"]["span_id"]
+
+    def test_thread_name_metadata_events(self):
+        tracer = Tracer()
+        _traced_work(tracer)
+        metadata = [e for e in chrome_trace_events(tracer)
+                    if e["ph"] == "M"]
+        assert metadata
+        assert all(e["name"] == "thread_name" for e in metadata)
+
+    def test_accepts_open_file_destination(self, tmp_path):
+        tracer = Tracer()
+        _traced_work(tracer)
+        path = tmp_path / "trace.json"
+        with open(path, "w") as handle:
+            export_chrome_trace(tracer, handle)
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+class TestMetricsExport:
+    def test_metrics_json_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("calls").inc(3)
+        registry.histogram("bytes", buckets=(10.0, 100.0)).observe(42)
+        path = tmp_path / "metrics.json"
+        export_metrics_json(registry, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["metrics"]["calls"]["value"] == 3
+        assert loaded["metrics"]["bytes"]["buckets"]["le=100"] == 1
+
+    def test_summary_combines_metrics_and_spans(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("calls").inc()
+        tracer = Tracer()
+        _traced_work(tracer)
+        _traced_work(tracer)
+        path = tmp_path / "summary.json"
+        export_summary(registry, tracer, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["metrics"]["calls"]["value"] == 1
+        assert loaded["spans"]["inner"]["count"] == 2
+        assert loaded["spans"]["inner"]["virtual_seconds"] == \
+            pytest.approx(1.0)
+
+    def test_span_summary_aggregates_by_name(self):
+        tracer = Tracer()
+        _traced_work(tracer)
+        summary = span_summary(tracer)
+        assert summary["outer"]["category"] == "scheduler"
+        assert summary["outer"]["count"] == 1
+        assert summary["outer"]["virtual_seconds"] == pytest.approx(1.5)

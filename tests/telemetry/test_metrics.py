@@ -1,0 +1,174 @@
+"""Metrics instruments: counters, gauges and histogram bucket edges."""
+
+import threading
+
+import pytest
+
+from repro.telemetry.metrics import (Counter, Gauge, Histogram,
+                                     MetricsRegistry)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_accepts_float_increments(self):
+        counter = Counter("seconds")
+        counter.inc(0.25)
+        counter.inc(0.5)
+        assert counter.value == pytest.approx(0.75)
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        counter = Counter("c")
+
+        def work():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+    def test_can_go_negative(self):
+        gauge = Gauge("g")
+        gauge.dec(2)
+        assert gauge.value == -2
+
+
+class TestHistogramBucketEdges:
+    def test_value_at_edge_lands_in_that_bucket(self):
+        # Edges are upper-inclusive: v <= edge.
+        histogram = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        histogram.observe(1.0)
+        histogram.observe(10.0)
+        histogram.observe(100.0)
+        counts = histogram.bucket_counts()
+        assert counts == {"le=1": 1, "le=10": 1, "le=100": 1,
+                          "overflow": 0}
+
+    def test_value_just_above_edge_goes_to_next_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(1.0000001)
+        assert histogram.bucket_counts() == {"le=1": 0, "le=10": 1,
+                                             "overflow": 0}
+
+    def test_overflow_bucket(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(2.0)
+        histogram.observe(1e9)
+        assert histogram.bucket_counts()["overflow"] == 2
+
+    def test_below_first_edge_goes_to_first_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(-5.0)
+        histogram.observe(0.0)
+        assert histogram.bucket_counts()["le=1"] == 2
+
+    def test_count_sum_min_max_mean(self):
+        histogram = Histogram("h", buckets=(10.0,))
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(6.0)
+        assert histogram.mean == pytest.approx(2.0)
+        snapshot = histogram.snapshot()
+        assert snapshot["min"] == 1.0
+        assert snapshot["max"] == 3.0
+
+    def test_rejects_unsorted_or_duplicate_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(10.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_labels_distinguish_instruments(self):
+        registry = MetricsRegistry()
+        first = registry.counter("calls", labels={"transport": "tcp"})
+        second = registry.counter("calls",
+                                  labels={"transport": "in-process"})
+        assert first is not second
+        first.inc()
+        assert second.value == 0
+        assert "calls{transport=tcp}" in registry.names()
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x", labels={"a": 1, "b": 2}) is \
+            registry.counter("x", labels={"b": 2, "a": 1})
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(TypeError):
+            registry.gauge("name")
+
+    def test_histogram_buckets_fixed_at_first_creation(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("h", buckets=(1.0, 2.0))
+        again = registry.histogram("h", buckets=(5.0,))
+        assert again is first
+        assert again.edges == (1.0, 2.0)
+
+    def test_snapshot_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(7)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["c"] == {"type": "counter", "value": 3}
+        assert snapshot["g"]["value"] == 7
+        assert snapshot["h"]["count"] == 1
+        registry.reset()
+        assert registry.names() == ()
+
+    def test_concurrent_get_or_create_is_safe(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def work():
+            for index in range(200):
+                counter = registry.counter(f"metric{index % 10}")
+                counter.inc()
+                seen.append(counter)
+
+        threads = [threading.Thread(target=work) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # 10 distinct instruments, each incremented 120 times in total.
+        assert len(registry.names()) == 10
+        total = sum(registry.counter(f"metric{i}").value
+                    for i in range(10))
+        assert total == 1200

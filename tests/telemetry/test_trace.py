@@ -1,0 +1,133 @@
+"""Span tracing: nesting, thread isolation, dual timestamps."""
+
+import threading
+
+from repro.net.clock import VirtualClock
+from repro.telemetry.trace import Tracer
+
+
+class TestSpanBasics:
+    def test_span_records_wall_interval(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        (span,) = tracer.spans
+        assert span.name == "work"
+        assert span.wall_end >= span.wall_start >= 0.0
+        assert span.wall_duration >= 0.0
+
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+        inner_span, outer_span = tracer.spans
+        assert inner_span.name == "inner"
+        assert inner_span.parent_id == outer_span.span_id
+        assert outer_span.parent_id is None
+
+    def test_exception_is_recorded_and_span_closed(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("faulty"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        (span,) = tracer.spans
+        assert span.args["error"] == "RuntimeError: boom"
+        assert tracer.current_span() is None
+
+    def test_virtual_clock_timestamps(self):
+        tracer = Tracer()
+        clock = VirtualClock()
+        clock.charge_cpu(2.0)
+        with tracer.span("sim", clock=clock):
+            clock.charge_cpu(3.0)
+            clock.wait(1.5)
+        (span,) = tracer.spans
+        assert span.virtual_start == 2.0
+        assert span.virtual_end == 6.5
+        assert span.virtual_duration == 4.5
+
+    def test_span_without_clock_has_no_virtual_interval(self):
+        tracer = Tracer()
+        with tracer.span("plain"):
+            pass
+        (span,) = tracer.spans
+        assert span.virtual_start is None
+        assert span.virtual_duration is None
+
+    def test_set_attaches_args(self):
+        tracer = Tracer()
+        with tracer.span("annotated", args={"a": 1}) as span:
+            span.set("b", 2)
+        (recorded,) = tracer.spans
+        assert recorded.args == {"a": 1, "b": 2}
+
+    def test_reset_drops_spans(self):
+        tracer = Tracer()
+        with tracer.span("gone"):
+            pass
+        tracer.reset()
+        assert tracer.spans == ()
+
+
+class TestThreadIsolation:
+    def test_two_threads_do_not_interleave_span_parents(self):
+        """Two concurrent scheduler threads must keep separate stacks:
+        each thread's inner span is parented by *its own* outer span."""
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+        failures = []
+
+        def run(label):
+            try:
+                with tracer.span(f"outer-{label}") as outer:
+                    barrier.wait(timeout=5)  # both outers open now
+                    with tracer.span(f"inner-{label}") as inner:
+                        barrier.wait(timeout=5)  # both inners open now
+                        if inner.parent_id != outer.span_id:
+                            failures.append(
+                                f"{label}: inner parented by "
+                                f"{inner.parent_id}, expected "
+                                f"{outer.span_id}")
+            except Exception as exc:  # pragma: no cover - debug aid
+                failures.append(f"{label}: {exc!r}")
+
+        threads = [threading.Thread(target=run, args=(name,))
+                   for name in ("alpha", "beta")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        spans = {span.name: span for span in tracer.spans}
+        assert len(spans) == 4
+        for label in ("alpha", "beta"):
+            assert spans[f"inner-{label}"].parent_id == \
+                spans[f"outer-{label}"].span_id
+            assert spans[f"outer-{label}"].parent_id is None
+            # Both spans of a thread carry that thread's id.
+            assert spans[f"inner-{label}"].thread_id == \
+                spans[f"outer-{label}"].thread_id
+        assert spans["inner-alpha"].thread_id != \
+            spans["inner-beta"].thread_id
+
+    def test_span_ids_unique_across_threads(self):
+        tracer = Tracer()
+
+        def work():
+            for _ in range(100):
+                with tracer.span("s"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        identifiers = [span.span_id for span in tracer.spans]
+        assert len(identifiers) == 400
+        assert len(set(identifiers)) == 400
