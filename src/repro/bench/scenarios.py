@@ -54,6 +54,7 @@ class ScenarioResult:
     remote_calls: int
     remote_bytes: int
     powers: Optional[List[float]] = None
+    round_trips: int = 0
 
     def row(self) -> Tuple[str, str, float, float]:
         """(design, host, CPU s, real s) -- the paper's column layout."""
@@ -142,15 +143,24 @@ def run_scenario(mode: str, network: NetworkModel = LOCALHOST,
                  power_enabled: bool = True,
                  cost_model: Optional[CostModel] = None,
                  collect_powers: bool = False,
-                 nonblocking: bool = False) -> ScenarioResult:
-    """Run one Table 2 cell and return its measured row."""
+                 nonblocking: bool = False,
+                 batching: Optional[bool] = None,
+                 caching: Optional[bool] = None) -> ScenarioResult:
+    """Run one Table 2 cell and return its measured row.
+
+    ``batching``/``caching`` select the wire wrappers for the provider
+    connection; ``None`` defers to the process-wide ``WIRE_OPTIONS``
+    (the CLI's ``--rmi-batch`` / ``--rmi-cache`` flags).
+    """
     cost = cost_model or CostModel()
     clock = VirtualClock()
     connection: Optional[ProviderConnection] = None
     if mode != "AL":
         provider = shared_provider(width, power_enabled)
         connection = ProviderConnection(provider, network, clock=clock,
-                                        cost_model=cost)
+                                        cost_model=cost,
+                                        batching=batching,
+                                        caching=caching)
     design = Figure2Design(mode, connection, width=width,
                            patterns=patterns, buffer_size=buffer_size,
                            nonblocking=nonblocking)
@@ -171,16 +181,18 @@ def run_scenario(mode: str, network: NetworkModel = LOCALHOST,
         collected = design.mult.collect_power(controller.context)
         if collect_powers:
             powers = collected
+        connection.flush()
     clock.sync()
 
     calls = connection.transport.stats.calls if connection else 0
-    wire = (connection.transport.stats.bytes_sent
-            + connection.transport.stats.bytes_received) if connection \
+    wire = (connection.base_transport.stats.bytes_sent
+            + connection.base_transport.stats.bytes_received) if connection \
         else 0
     result = ScenarioResult(
         scenario=mode, host=network.name if mode != "AL" else "NA",
         cpu=clock.cpu, real=clock.wall, events=stats.events,
-        remote_calls=calls, remote_bytes=wire, powers=powers)
+        remote_calls=calls, remote_bytes=wire, powers=powers,
+        round_trips=connection.round_trips if connection else 0)
     controller.teardown()
     return result
 

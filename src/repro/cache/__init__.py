@@ -1,0 +1,5 @@
+"""Content-addressed response caching for pure remote calls."""
+
+from .response import CacheStats, ResponseCache, cache_key
+
+__all__ = ["CacheStats", "ResponseCache", "cache_key"]

@@ -177,6 +177,50 @@ def _cmd_scoap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_wirebench(args: argparse.Namespace) -> int:
+    """A deliberately chatty remote workload: the wire layer's showcase.
+
+    Phase 1 is the chattiest Figure 2 configuration -- ER with a buffer
+    of one, so every pattern is its own non-blocking push (batching
+    fodder).  Phase 2 repeats pure calls (data-sheet reads, gate-level
+    timing) on one connection (caching fodder).  Run it with
+    ``--rmi-batch --rmi-cache --metrics-out`` to see the saved round
+    trips; without the flags it shows the plain-wire baseline.
+    """
+    from .bench.scenarios import run_scenario, shared_provider
+    from .ip.component import ProviderConnection
+    from .ip.provider import TimingServant
+    from .net.model import WAN
+
+    scenario = run_scenario("ER", WAN, width=args.width,
+                            patterns=args.patterns, buffer_size=1,
+                            nonblocking=True)
+
+    provider = shared_provider(args.width, True)
+    connection = ProviderConnection(provider, WAN)
+    timing = connection.stub("MultFastLowPower.timing",
+                             TimingServant.REMOTE_METHODS)
+    for _ in range(args.repeats):
+        connection.describe("MultFastLowPower")
+        timing.output_timing()
+    connection.flush()
+    pure_calls = connection.transport.stats.calls
+
+    print(f"Wire benchmark -- ER/WAN, {args.patterns} patterns, "
+          f"buffer of 1; {args.repeats} pure-call repeats:")
+    print(format_table(
+        ["Phase", "Logical calls", "Round trips"],
+        [["chatty ER (oneway pushes)", scenario.remote_calls,
+          scenario.round_trips],
+         ["pure repeats (describe+timing)", pure_calls,
+          connection.round_trips]]))
+    total_calls = scenario.remote_calls + pure_calls
+    total_trips = scenario.round_trips + connection.round_trips
+    print(f"total: {total_calls} calls in {total_trips} round trips "
+          f"({total_calls - total_trips} saved)")
+    return 0
+
+
 def _cmd_all(args: argparse.Namespace) -> int:
     """A reduced-scale pass over every experiment, one screen each."""
     quick = args.quick
@@ -226,6 +270,15 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument(
         "--metrics-out", metavar="FILE", default=None,
         help="write a JSON metrics snapshot of the run to FILE")
+    telemetry.add_argument(
+        "--rmi-batch", action="store_true", default=False,
+        help="coalesce buffered oneway RMI calls into BATCH frames")
+    telemetry.add_argument(
+        "--rmi-cache", action="store_true", default=False,
+        help="memoize pure remote calls in a client response cache")
+    telemetry.add_argument(
+        "--rmi-max-batch", type=int, metavar="N", default=None,
+        help="auto-flush the batch queue at N queued calls")
     subparsers = parser.add_subparsers(dest="command", required=True,
                                        parser_class=lambda **kw:
                                        argparse.ArgumentParser(
@@ -283,6 +336,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="show the N hardest nets")
     scoap.set_defaults(fn=_cmd_scoap)
 
+    wirebench = subparsers.add_parser(
+        "wirebench", help="chatty remote workload showcasing "
+                          "--rmi-batch / --rmi-cache savings")
+    wirebench.add_argument("--width", type=int, default=16)
+    wirebench.add_argument("--patterns", type=int, default=120)
+    wirebench.add_argument("--repeats", type=int, default=20)
+    wirebench.set_defaults(fn=_cmd_wirebench)
+
     everything = subparsers.add_parser(
         "all", help="run every paper experiment (use --quick for a "
                     "reduced-scale pass)")
@@ -297,13 +358,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
-    if trace_out is None and metrics_out is None:
-        return args.fn(args)
     from contextlib import ExitStack
 
-    from .telemetry import telemetry_session
+    from .rmi.wire import wire_session
 
     with ExitStack() as stack:
+        stack.enter_context(wire_session(
+            batching=getattr(args, "rmi_batch", False) or None,
+            caching=getattr(args, "rmi_cache", False) or None,
+            max_batch=getattr(args, "rmi_max_batch", None)))
+        if trace_out is None and metrics_out is None:
+            return args.fn(args)
+
+        from .telemetry import telemetry_session
+
         # Open the output files before running so a bad path fails
         # fast instead of discarding a completed run.
         try:

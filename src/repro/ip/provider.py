@@ -126,7 +126,7 @@ class FunctionalServant:
     emissions.  Port state is per client session.
     """
 
-    REMOTE_METHODS = ("handle_event", "reset")
+    REMOTE_METHODS = ("handle_event", "evaluate", "reset")
 
     def __init__(self, width: int, word_op_cost: float = 85e-3):
         self.width = width
@@ -151,6 +151,27 @@ class FunctionalServant:
         context = current_server_context()
         if context is not None:
             context.charge(self.word_op_cost)
+        if a is None or b is None:
+            return []
+        return [("o", (a * b) & ((1 << (2 * self.width)) - 1))]
+
+    def evaluate(self, inputs: Dict[str, int]) -> List[Tuple[str, int]]:
+        """Pure combinational evaluation: all known inputs, no session.
+
+        Unlike :meth:`handle_event`, this carries the module's complete
+        input-port configuration in one call and touches no server-side
+        state, so identical stimuli always produce identical replies --
+        which is what makes the call safely *cacheable* on the client's
+        response cache.
+        """
+        unknown = set(inputs) - {"a", "b"}
+        if unknown:
+            raise RemoteError(
+                f"multiplier has no input port(s) {sorted(unknown)!r}")
+        context = current_server_context()
+        if context is not None:
+            context.charge(self.word_op_cost)
+        a, b = inputs.get("a"), inputs.get("b")
         if a is None or b is None:
             return []
         return [("o", (a * b) & ((1 << (2 * self.width)) - 1))]

@@ -28,9 +28,9 @@ class CallRequest:
     call_id: int = field(default_factory=lambda: next(_call_ids))
     oneway: bool = False
 
-    def encode(self) -> bytes:
-        """Marshal to wire bytes (rejects non-whitelisted arguments)."""
-        return marshal({
+    def to_wire(self) -> Dict[str, Any]:
+        """The request as a marshallable dict (shared with BATCH frames)."""
+        return {
             "kind": "call",
             "object": self.object_name,
             "method": self.method,
@@ -38,12 +38,15 @@ class CallRequest:
             "kwargs": dict(self.kwargs),
             "id": self.call_id,
             "oneway": self.oneway,
-        })
+        }
+
+    def encode(self) -> bytes:
+        """Marshal to wire bytes (rejects non-whitelisted arguments)."""
+        return marshal(self.to_wire())
 
     @staticmethod
-    def decode(data: bytes) -> "CallRequest":
-        """Rebuild a request from wire bytes."""
-        wire = unmarshal(data)
+    def from_wire(wire: Any) -> "CallRequest":
+        """Rebuild a request from its marshallable dict form."""
         if not isinstance(wire, dict) or wire.get("kind") != "call":
             raise MarshalError(f"not a call request: {wire!r}")
         return CallRequest(
@@ -55,6 +58,11 @@ class CallRequest:
             oneway=wire["oneway"],
         )
 
+    @staticmethod
+    def decode(data: bytes) -> "CallRequest":
+        """Rebuild a request from wire bytes."""
+        return CallRequest.from_wire(unmarshal(data))
+
 
 @dataclass(frozen=True)
 class CallReply:
@@ -65,21 +73,110 @@ class CallReply:
     result: Any = None
     error: Optional[str] = None
 
-    def encode(self) -> bytes:
-        """Marshal to wire bytes (rejects non-whitelisted results)."""
-        return marshal({
+    def to_wire(self) -> Dict[str, Any]:
+        """The reply as a marshallable dict (shared with BATCH frames)."""
+        return {
             "kind": "reply",
             "id": self.call_id,
             "ok": self.ok,
             "result": self.result,
             "error": self.error,
-        })
+        }
+
+    def encode(self) -> bytes:
+        """Marshal to wire bytes (rejects non-whitelisted results)."""
+        return marshal(self.to_wire())
 
     @staticmethod
-    def decode(data: bytes) -> "CallReply":
-        """Rebuild a reply from wire bytes."""
-        wire = unmarshal(data)
+    def from_wire(wire: Any) -> "CallReply":
+        """Rebuild a reply from its marshallable dict form."""
         if not isinstance(wire, dict) or wire.get("kind") != "reply":
             raise MarshalError(f"not a call reply: {wire!r}")
         return CallReply(call_id=wire["id"], ok=wire["ok"],
                          result=wire["result"], error=wire["error"])
+
+    @staticmethod
+    def decode(data: bytes) -> "CallReply":
+        """Rebuild a reply from wire bytes."""
+        return CallReply.from_wire(unmarshal(data))
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """A BATCH frame: several calls travelling as one round trip.
+
+    The server dispatches the calls in order, in one pass, and answers
+    with one :class:`BatchReply` carrying a positional reply per call
+    (oneway calls included, so the reply list always lines up with the
+    request list).  Batching changes *when* bytes move, never *what*
+    they mean: each inner call is the same ``CallRequest`` that would
+    have travelled alone.
+    """
+
+    calls: Tuple[CallRequest, ...]
+    batch_id: int = field(default_factory=lambda: next(_call_ids))
+
+    def encode(self) -> bytes:
+        """Marshal to wire bytes (rejects non-whitelisted arguments)."""
+        if not self.calls:
+            raise MarshalError("a BATCH frame needs at least one call")
+        return marshal({
+            "kind": "batch",
+            "id": self.batch_id,
+            "calls": tuple(call.to_wire() for call in self.calls),
+        })
+
+    @staticmethod
+    def decode(data: bytes) -> "BatchRequest":
+        """Rebuild a batch from wire bytes."""
+        wire = unmarshal(data)
+        if not isinstance(wire, dict) or wire.get("kind") != "batch":
+            raise MarshalError(f"not a batch request: {wire!r}")
+        calls = tuple(CallRequest.from_wire(item)
+                      for item in wire["calls"])
+        if not calls:
+            raise MarshalError("BATCH frame carries no calls")
+        return BatchRequest(calls=calls, batch_id=wire["id"])
+
+
+@dataclass(frozen=True)
+class BatchReply:
+    """The reply to a :class:`BatchRequest`: one reply per call, in order."""
+
+    batch_id: int
+    replies: Tuple[CallReply, ...]
+
+    def encode(self) -> bytes:
+        """Marshal to wire bytes (rejects non-whitelisted results)."""
+        return marshal({
+            "kind": "batch-reply",
+            "id": self.batch_id,
+            "replies": tuple(reply.to_wire() for reply in self.replies),
+        })
+
+    @staticmethod
+    def decode(data: bytes) -> "BatchReply":
+        """Rebuild a batch reply from wire bytes."""
+        wire = unmarshal(data)
+        if not isinstance(wire, dict) or wire.get("kind") != "batch-reply":
+            raise MarshalError(f"not a batch reply: {wire!r}")
+        return BatchReply(
+            batch_id=wire["id"],
+            replies=tuple(CallReply.from_wire(item)
+                          for item in wire["replies"]))
+
+
+def decode_request(data: bytes):
+    """Decode an incoming request frame: a single call or a batch.
+
+    The TCP accept loop uses this so one socket carries both frame
+    kinds interchangeably.
+    """
+    wire = unmarshal(data)
+    if isinstance(wire, dict) and wire.get("kind") == "batch":
+        calls = tuple(CallRequest.from_wire(item)
+                      for item in wire["calls"])
+        if not calls:
+            raise MarshalError("BATCH frame carries no calls")
+        return BatchRequest(calls=calls, batch_id=wire["id"])
+    return CallRequest.from_wire(wire)

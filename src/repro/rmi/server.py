@@ -27,7 +27,8 @@ from ..core.errors import RemoteError
 from ..net.clock import CostModel, VirtualClock
 from ..net.model import NetworkModel
 from ..telemetry.runtime import TELEMETRY
-from .protocol import CallReply, CallRequest
+from .protocol import (BatchReply, BatchRequest, CallReply, CallRequest,
+                       decode_request)
 from .registry import Binding, Registry
 
 _thread_state = threading.local()
@@ -128,6 +129,36 @@ class JavaCADServer:
                 span.finish()
             _thread_state.server_context = None
 
+    def dispatch_batch(self, batch: BatchRequest,
+                       clock: Optional[VirtualClock] = None,
+                       shared_host: bool = False) -> BatchReply:
+        """Execute a BATCH frame's calls in order, in one server pass.
+
+        Each inner call goes through the exact same :meth:`dispatch`
+        path it would take alone (method whitelists, per-call error
+        replies, server CPU charging), so batching never changes what a
+        call computes -- only how many frames cross the wire.  A failed
+        call does not abort the rest of the batch; its error reply
+        rides back in position.
+        """
+        span = None
+        if TELEMETRY.enabled:
+            span = TELEMETRY.tracer.span(
+                "rmi.dispatch_batch", category="rmi", clock=clock,
+                args={"server": self.host_name,
+                      "calls": len(batch.calls)}).start()
+            TELEMETRY.metrics.counter(
+                "rmi.dispatch.batches",
+                labels={"server": self.host_name}).inc()
+        try:
+            replies = tuple(self.dispatch(call, clock=clock,
+                                          shared_host=shared_host)
+                            for call in batch.calls)
+            return BatchReply(batch.batch_id, replies)
+        finally:
+            if span is not None:
+                span.finish()
+
     # ------------------------------------------------------------------
     # In-process endpoint
     # ------------------------------------------------------------------
@@ -207,17 +238,13 @@ class JavaCADServer:
                     frame = _read_frame(connection)
                     if frame is None:
                         return
-                    request = CallRequest.decode(frame)
-                    reply = self.dispatch(request)
-                    try:
-                        payload = reply.encode()
-                    except Exception as exc:  # noqa: BLE001
-                        # Typically a MarshalError: the servant produced
-                        # a result that may not cross the boundary (an
-                        # attempted IP leak).  Report it as a fault.
-                        payload = CallReply(
-                            request.call_id, ok=False,
-                            error=f"{type(exc).__name__}: {exc}").encode()
+                    request = decode_request(frame)
+                    if isinstance(request, BatchRequest):
+                        batch_reply = self.dispatch_batch(request)
+                        payload = _encode_batch_reply(request, batch_reply)
+                    else:
+                        reply = self.dispatch(request)
+                        payload = _encode_reply(request, reply)
                     _write_frame(connection, payload)
         except OSError:
             return
@@ -228,6 +255,38 @@ class JavaCADServer:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"JavaCADServer({self.host_name!r}, "
                 f"{len(self.registry.names())} bindings)")
+
+
+def _encode_reply(request: CallRequest, reply: CallReply) -> bytes:
+    """Encode a reply; a marshal failure becomes an error reply.
+
+    Typically a MarshalError: the servant produced a result that may
+    not cross the boundary (an attempted IP leak).  Report it as a
+    fault instead of desynchronizing the stream.
+    """
+    try:
+        return reply.encode()
+    except Exception as exc:  # noqa: BLE001
+        return CallReply(request.call_id, ok=False,
+                         error=f"{type(exc).__name__}: {exc}").encode()
+
+
+def _encode_batch_reply(request: BatchRequest,
+                        reply: BatchReply) -> bytes:
+    """Encode a batch reply, downgrading unmarshallable results per call."""
+    try:
+        return reply.encode()
+    except Exception:  # noqa: BLE001 - isolate the offending call(s)
+        replies = []
+        for call, call_reply in zip(request.calls, reply.replies):
+            try:
+                call_reply.encode()
+                replies.append(call_reply)
+            except Exception as exc:  # noqa: BLE001
+                replies.append(CallReply(
+                    call.call_id, ok=False,
+                    error=f"{type(exc).__name__}: {exc}"))
+        return BatchReply(request.batch_id, tuple(replies)).encode()
 
 
 def _read_frame(connection: socket.socket) -> Optional[bytes]:

@@ -25,19 +25,30 @@ class RemoteStub:
         object.__setattr__(self, "object_name", object_name)
         object.__setattr__(self, "methods", tuple(methods))
         object.__setattr__(self, "calls", 0)
+        object.__setattr__(self, "errors", 0)
 
     # -- invocation ---------------------------------------------------------
 
     def invoke(self, method: str, *args: Any, oneway: bool = False,
                **kwargs: Any) -> Any:
-        """Invoke a remote method explicitly."""
+        """Invoke a remote method explicitly.
+
+        ``calls`` counts invocations that the transport completed;
+        ``errors`` counts invocations the transport raised on.  A call
+        rejected locally (unknown method) touches neither counter.
+        """
         if method not in self.methods:
             raise RemoteError(
                 f"stub for {self.object_name!r} exports no method "
                 f"{method!r} (available: {', '.join(self.methods)})")
+        try:
+            result = self.transport.invoke(self.object_name, method, args,
+                                           kwargs, oneway=oneway)
+        except Exception:
+            object.__setattr__(self, "errors", self.errors + 1)
+            raise
         object.__setattr__(self, "calls", self.calls + 1)
-        return self.transport.invoke(self.object_name, method, args,
-                                     kwargs, oneway=oneway)
+        return result
 
     def invoke_oneway(self, method: str, *args: Any, **kwargs: Any) -> None:
         """Fire-and-forget invocation (non-blocking remote work)."""

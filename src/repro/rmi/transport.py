@@ -20,27 +20,35 @@ import struct
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import RemoteError
 from ..net.clock import CostModel, VirtualClock
 from ..net.model import NetworkModel
 from ..telemetry.metrics import DEFAULT_BYTES_BUCKETS
 from ..telemetry.runtime import TELEMETRY
-from .protocol import CallReply, CallRequest
+from .protocol import BatchReply, BatchRequest, CallReply, CallRequest
 from .security import SecurityPolicy
 from .server import JavaCADServer
+
+_BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
 @dataclass
 class TransportStats:
-    """Call/byte counters maintained by every transport."""
+    """Call/byte counters maintained by every transport.
+
+    At a base transport, ``calls`` counts *round trips*: a BATCH frame
+    of N inner calls increments ``calls`` once and ``batches`` once.
+    """
 
     calls: int = 0
     oneway_calls: int = 0
     bytes_sent: int = 0
     bytes_received: int = 0
     errors: int = 0
+    batches: int = 0
+    batched_calls: int = 0
 
     def record(self, sent: int, received: int, oneway: bool) -> None:
         """Account one completed call."""
@@ -49,6 +57,13 @@ class TransportStats:
             self.oneway_calls += 1
         self.bytes_sent += sent
         self.bytes_received += received
+
+    def record_batch(self, sent: int, received: int, size: int,
+                     oneway: bool) -> None:
+        """Account one completed BATCH round trip carrying ``size`` calls."""
+        self.record(sent, received, oneway)
+        self.batches += 1
+        self.batched_calls += size
 
 
 class Transport:
@@ -77,6 +92,30 @@ class Transport:
         metrics.counter("rmi.marshal_wall_seconds",
                         labels=labels).inc(marshal_seconds)
 
+    def _account_batch(self, span: Any, kind: str, sent: int,
+                       received: int, size: int,
+                       marshal_seconds: float) -> None:
+        """Record one BATCH round trip's telemetry (only when enabled)."""
+        span.set("request_bytes", sent)
+        span.set("reply_bytes", received)
+        span.set("batch_size", size)
+        span.set("marshal_wall_s", marshal_seconds)
+        metrics = TELEMETRY.metrics
+        labels = {"transport": kind}
+        metrics.counter("rmi.calls", labels=labels).inc()
+        metrics.counter("rmi.batch.frames", labels=labels).inc()
+        metrics.histogram("rmi.batch.size",
+                          buckets=_BATCH_SIZE_BUCKETS,
+                          labels=labels).observe(size)
+        metrics.histogram("rmi.request_bytes",
+                          buckets=DEFAULT_BYTES_BUCKETS,
+                          labels=labels).observe(sent)
+        metrics.histogram("rmi.reply_bytes",
+                          buckets=DEFAULT_BYTES_BUCKETS,
+                          labels=labels).observe(received)
+        metrics.counter("rmi.marshal_wall_seconds",
+                        labels=labels).inc(marshal_seconds)
+
     def invoke(self, object_name: str, method: str,
                args: Tuple[Any, ...] = (),
                kwargs: Optional[Dict[str, Any]] = None,
@@ -87,6 +126,20 @@ class Transport:
         paper uses this for non-blocking gate-level simulation runs.
         """
         raise NotImplementedError
+
+    def invoke_batch(self, requests: Sequence[CallRequest]
+                     ) -> List[CallReply]:
+        """Send several calls as one BATCH frame; one round trip.
+
+        Returns one :class:`CallReply` per request, in order, without
+        raising for per-call errors -- the caller (normally a
+        :class:`~repro.rmi.batching.BatchingTransport`) decides which
+        failures are fire-and-forget and which must surface.
+        """
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push out any locally queued traffic (no-op on base transports)."""
 
     def close(self) -> None:
         """Release any underlying resources."""
@@ -184,6 +237,61 @@ class InProcessTransport(Transport):
             raise RemoteError(decoded.error or "remote call failed")
         return decoded.result
 
+    def invoke_batch(self, requests: Sequence[CallRequest]
+                     ) -> List[CallReply]:
+        if TELEMETRY.enabled:
+            with TELEMETRY.tracer.span(
+                    "rmi.invoke_batch", category="rmi", clock=self.clock,
+                    args={"transport": "in-process",
+                          "calls": len(requests)}) as span:
+                return self._invoke_batch(requests, span)
+        return self._invoke_batch(requests, None)
+
+    def _invoke_batch(self, requests: Sequence[CallRequest],
+                      span: Optional[Any]) -> List[CallReply]:
+        if not requests:
+            return []
+        if self.policy is not None:
+            self.policy.check_connect(self.server.host_name)
+        batch = BatchRequest(tuple(requests))
+        marshal_begin = time.perf_counter() if span is not None else 0.0
+        request_bytes = batch.encode()
+        # One marshal_call for the whole frame: this is the fixed
+        # per-call overhead that batching amortizes.
+        self.clock.charge_cpu(self.cost.marshal_call
+                              + self.cost.marshal_per_byte
+                              * len(request_bytes))
+        batch_reply = self.server.dispatch_batch(
+            BatchRequest.decode(request_bytes), clock=self.clock,
+            shared_host=self.network.shared_host)
+        reply_bytes = batch_reply.encode()
+        factor = self.cost.wire_overhead_factor
+        network_time = self.network.call_time(
+            int(len(request_bytes) * factor),
+            int(len(reply_bytes) * factor))
+        all_oneway = all(request.oneway for request in requests)
+        self.stats.record_batch(len(request_bytes), len(reply_bytes),
+                                len(requests), all_oneway)
+        if span is not None:
+            self._account_batch(span, "in-process", len(request_bytes),
+                                len(reply_bytes), len(requests),
+                                time.perf_counter() - marshal_begin)
+            span.set("network_time_s", network_time)
+        if all_oneway:
+            # A pure fire-and-forget frame keeps oneway semantics: the
+            # transfer queues on the shared link and completes
+            # asynchronously; nobody waits for the replies.
+            start = max(self.clock.wall, self._link_free)
+            completion = start + network_time
+            self._link_free = completion
+            self.clock.begin_async(completion - self.clock.wall)
+            return list(batch_reply.replies)
+        queue_delay = max(0.0, self._link_free - self.clock.wall)
+        self.clock.wait(queue_delay + network_time)
+        self._link_free = self.clock.wall
+        self.clock.charge_cpu(self.cost.marshal_per_byte * len(reply_bytes))
+        return list(BatchReply.decode(reply_bytes).replies)
+
 
 class TcpTransport(Transport):
     """A real socket transport speaking the framed wire protocol.
@@ -277,6 +385,54 @@ class TcpTransport(Transport):
                     "rmi.errors", labels={"transport": "tcp"}).inc()
             raise RemoteError(reply.error or "remote call failed")
         return reply.result
+
+    def invoke_batch(self, requests: Sequence[CallRequest]
+                     ) -> List[CallReply]:
+        if not requests:
+            return []
+        if TELEMETRY.enabled:
+            with TELEMETRY.tracer.span(
+                    "rmi.invoke_batch", category="rmi",
+                    args={"transport": "tcp", "host": self.host,
+                          "calls": len(requests)}) as span:
+                return self._invoke_batch(requests, span)
+        return self._invoke_batch(requests, None)
+
+    def _invoke_batch(self, requests: Sequence[CallRequest],
+                      span: Optional[Any]) -> List[CallReply]:
+        batch = BatchRequest(tuple(requests))
+        marshal_begin = time.perf_counter() if span is not None else 0.0
+        payload = batch.encode()
+        with self._lock:
+            try:
+                connection = self._ensure_socket()
+                connection.sendall(struct.pack(">I", len(payload)) + payload)
+                reply_bytes = self._read_frame(connection)
+            except (OSError, RemoteError) as exc:
+                self.stats.errors += 1
+                self._close_locked()
+                if span is not None:
+                    TELEMETRY.metrics.counter(
+                        "rmi.errors", labels={"transport": "tcp"}).inc()
+                if isinstance(exc, RemoteError):
+                    raise
+                raise RemoteError(
+                    f"transport failure sending a {len(requests)}-call "
+                    f"batch to {self.host}:{self.port}: {exc}") from exc
+        all_oneway = all(request.oneway for request in requests)
+        self.stats.record_batch(len(payload), len(reply_bytes),
+                                len(requests), all_oneway)
+        reply = BatchReply.decode(reply_bytes)
+        if span is not None:
+            self._account_batch(span, "tcp", len(payload),
+                                len(reply_bytes), len(requests),
+                                time.perf_counter() - marshal_begin)
+        if len(reply.replies) != len(requests):
+            self.stats.errors += 1
+            raise RemoteError(
+                f"batch reply carries {len(reply.replies)} replies for "
+                f"{len(requests)} calls")
+        return list(reply.replies)
 
     def _read_frame(self, connection: socket.socket) -> bytes:
         header = self._read_exact(connection, 4)

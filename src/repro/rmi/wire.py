@@ -1,0 +1,122 @@
+"""Process-wide wire options: batching/caching defaults + wrapping.
+
+The CLI's ``--rmi-batch`` / ``--rmi-cache`` flags (and tests) configure
+one process-wide :class:`WireOptions` instance, mirroring how
+``repro.telemetry.runtime.TELEMETRY`` works; every
+:class:`~repro.ip.component.ProviderConnection` consults it when its
+constructor is not given explicit overrides.  :func:`wrap_transport`
+is the single place that knows the correct stacking order:
+
+    CachingTransport(BatchingTransport(base))
+
+Cache first (client-most) so a hit never even enters the batch queue;
+batching below so misses and stateful traffic still coalesce.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+from ..cache import ResponseCache
+from .batching import DEFAULT_MAX_BATCH, BatchingTransport
+from .caching import CachePolicy, CachingTransport
+from .transport import Transport
+
+
+class WireOptions:
+    """Mutable process-wide defaults for the invocation layer."""
+
+    def __init__(self) -> None:
+        self.batching: bool = False
+        self.caching: bool = False
+        self.max_batch: int = DEFAULT_MAX_BATCH
+        self.cache_entries: int = 1024
+        self.cache_ttl: Optional[float] = None
+
+    def configure(self, batching: Optional[bool] = None,
+                  caching: Optional[bool] = None,
+                  max_batch: Optional[int] = None,
+                  cache_entries: Optional[int] = None,
+                  cache_ttl: Optional[float] = None) -> None:
+        """Update the defaults (None leaves a field unchanged)."""
+        if batching is not None:
+            self.batching = batching
+        if caching is not None:
+            self.caching = caching
+        if max_batch is not None:
+            self.max_batch = max_batch
+        if cache_entries is not None:
+            self.cache_entries = cache_entries
+        if cache_ttl is not None:
+            self.cache_ttl = cache_ttl
+
+    def reset(self) -> None:
+        """Back to the plain-wire defaults."""
+        self.__init__()
+
+
+WIRE_OPTIONS = WireOptions()
+"""The process-wide wire options every new connection consults."""
+
+
+@contextlib.contextmanager
+def wire_session(batching: Optional[bool] = None,
+                 caching: Optional[bool] = None,
+                 max_batch: Optional[int] = None,
+                 cache_entries: Optional[int] = None,
+                 cache_ttl: Optional[float] = None) -> Iterator[WireOptions]:
+    """Apply wire options for a block, restoring the previous state."""
+    saved = (WIRE_OPTIONS.batching, WIRE_OPTIONS.caching,
+             WIRE_OPTIONS.max_batch, WIRE_OPTIONS.cache_entries,
+             WIRE_OPTIONS.cache_ttl)
+    WIRE_OPTIONS.configure(batching, caching, max_batch, cache_entries,
+                           cache_ttl)
+    try:
+        yield WIRE_OPTIONS
+    finally:
+        (WIRE_OPTIONS.batching, WIRE_OPTIONS.caching,
+         WIRE_OPTIONS.max_batch, WIRE_OPTIONS.cache_entries,
+         WIRE_OPTIONS.cache_ttl) = saved
+
+
+def wrap_transport(base: Transport,
+                   batching: Optional[bool] = None,
+                   caching: Optional[bool] = None,
+                   max_batch: Optional[int] = None,
+                   cache: Optional[ResponseCache] = None,
+                   policy: Optional[CachePolicy] = None) -> Transport:
+    """Stack the configured wrappers on top of a base transport.
+
+    ``None`` arguments fall back to :data:`WIRE_OPTIONS`; the returned
+    transport is the base itself when neither feature is on.
+    """
+    use_batching = WIRE_OPTIONS.batching if batching is None else batching
+    use_caching = WIRE_OPTIONS.caching if caching is None else caching
+    transport = base
+    if use_batching:
+        transport = BatchingTransport(
+            transport, max_batch=max_batch or WIRE_OPTIONS.max_batch)
+    if use_caching:
+        if cache is None:  # an empty shared cache is falsy -- test `is`
+            cache = ResponseCache(max_entries=WIRE_OPTIONS.cache_entries,
+                                  ttl=WIRE_OPTIONS.cache_ttl)
+        transport = CachingTransport(transport, cache=cache, policy=policy)
+    return transport
+
+
+def base_transport_of(transport: Transport) -> Transport:
+    """Unwrap batching/caching layers down to the wire transport.
+
+    The base transport's ``stats.calls`` is the true round-trip count,
+    which the differential harness and the ablation benchmarks assert
+    against.
+    """
+    seen = set()
+    while id(transport) not in seen:
+        seen.add(id(transport))
+        inner = getattr(transport, "inner", None)
+        if not isinstance(inner, Transport):
+            return transport
+        transport = inner
+    return transport

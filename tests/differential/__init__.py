@@ -1,0 +1,7 @@
+"""Differential testing of the RMI wire layer.
+
+The harness in :mod:`tests.differential.harness` runs identical seeded
+workloads under every wire configuration (plain, batched, cached,
+batched+cached) and asserts byte-identical functional results while the
+round-trip counters drop.
+"""

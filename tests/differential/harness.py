@@ -1,0 +1,201 @@
+"""Differential harness: one workload, four wire configurations.
+
+Batching and caching are *wire* optimizations: they may change how many
+frames cross the transport and what the virtual clock reads, but they
+must never change what the simulation computes.  The harness encodes
+that contract:
+
+* a **workload** is a callable taking ``(batching, caching)`` and
+  returning a :class:`DifferentialRun` whose ``fingerprint`` is a
+  deterministic byte serialization of every functional artifact (event
+  traces, power lists, fault-coverage results);
+* :func:`run_all_modes` executes the workload under the four
+  configurations in :data:`WIRE_MODES`;
+* :func:`assert_identical` requires the fingerprints to be
+  byte-identical, so any observable divergence -- reordered emissions,
+  a stale cache hit, a dropped batched call -- fails loudly.
+
+Virtual-clock times are deliberately *excluded* from fingerprints:
+fewer round trips legitimately means less virtual wall time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.bench.faultbench import build_embedded
+from repro.bench.scenarios import Figure2Design, shared_provider
+from repro.core.controller import SimulationController
+from repro.core.wave import WaveformRecorder
+from repro.estimation.criteria import ByName
+from repro.estimation.parameter import AVERAGE_POWER
+from repro.estimation.setup import SetupController
+from repro.faults.virtual import TestabilityServant
+from repro.gates.generators import random_netlist
+from repro.ip.component import ProviderConnection
+from repro.net.clock import CostModel, VirtualClock
+from repro.net.model import LAN, NetworkModel
+from repro.rmi import JavaCADServer, RemoteStub, wrap_transport
+
+WIRE_MODES: Dict[str, Dict[str, bool]] = {
+    "plain": {"batching": False, "caching": False},
+    "batched": {"batching": True, "caching": False},
+    "cached": {"batching": False, "caching": True},
+    "batched+cached": {"batching": True, "caching": True},
+}
+"""The four wire configurations every workload runs under."""
+
+
+@dataclass
+class DifferentialRun:
+    """One workload execution under one wire configuration."""
+
+    mode: str
+    fingerprint: bytes
+    artifacts: Dict[str, Any]
+    round_trips: int
+    logical_calls: int
+
+
+def fingerprint_of(artifacts: Dict[str, Any]) -> bytes:
+    """Deterministic byte serialization of a functional-artifact dict."""
+    return json.dumps(artifacts, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def run_all_modes(workload: Callable[[bool, bool], DifferentialRun]
+                  ) -> Dict[str, DifferentialRun]:
+    """Execute ``workload`` under every configuration in WIRE_MODES."""
+    runs: Dict[str, DifferentialRun] = {}
+    for mode, flags in WIRE_MODES.items():
+        run = workload(flags["batching"], flags["caching"])
+        runs[mode] = DifferentialRun(
+            mode=mode, fingerprint=run.fingerprint,
+            artifacts=run.artifacts, round_trips=run.round_trips,
+            logical_calls=run.logical_calls)
+    return runs
+
+
+def assert_identical(runs: Dict[str, DifferentialRun]) -> None:
+    """Byte-identical fingerprints across every wire configuration."""
+    baseline = runs["plain"]
+    for mode, run in runs.items():
+        assert run.fingerprint == baseline.fingerprint, (
+            f"wire mode {mode!r} diverged from the plain transport:\n"
+            f"plain: {baseline.artifacts!r}\n"
+            f"{mode}: {run.artifacts!r}")
+
+
+# ---------------------------------------------------------------------------
+# Workload 1: the Figure 2 scenarios (ER / MR), with full event traces
+# ---------------------------------------------------------------------------
+
+
+def run_figure2(mode: str, batching: bool, caching: bool,
+                width: int = 8, patterns: int = 40, buffer_size: int = 5,
+                nonblocking: bool = False, seed: int = 0,
+                network: NetworkModel = LAN) -> DifferentialRun:
+    """One Figure 2 scenario run with a waveform recorder attached.
+
+    The fingerprint covers the ordered (connector, value) event trace
+    and the collected per-pattern power list -- everything the
+    simulation computes, nothing the wire layer may legitimately change.
+    """
+    cost = CostModel()
+    clock = VirtualClock()
+    provider = shared_provider(width, True)
+    connection = ProviderConnection(provider, network, clock=clock,
+                                    cost_model=cost, batching=batching,
+                                    caching=caching)
+    design = Figure2Design(mode, connection, width=width,
+                           patterns=patterns, buffer_size=buffer_size,
+                           nonblocking=nonblocking, seed=seed)
+    circuit = design.build()
+    setup = SetupController(name=f"{mode}-differential-setup")
+    setup.set(AVERAGE_POWER, ByName("gate-level-toggle"))
+    setup.apply(circuit)
+
+    recorder = WaveformRecorder()
+    controller = SimulationController(circuit, setup=setup, clock=clock,
+                                      cost_model=cost, name=mode)
+    controller.add_observer(recorder)
+    controller.start()
+    powers = design.mult.collect_power(controller.context)
+    connection.flush()
+    clock.sync()
+    controller.teardown()
+
+    artifacts = {
+        "trace": [(change.connector, repr(change.value))
+                  for change in recorder.changes],
+        "powers": powers,
+    }
+    return DifferentialRun(
+        mode="", fingerprint=fingerprint_of(artifacts),
+        artifacts=artifacts, round_trips=connection.round_trips,
+        logical_calls=connection.transport.stats.calls)
+
+
+def figure2_workload(mode: str, **kwargs
+                     ) -> Callable[[bool, bool], DifferentialRun]:
+    """A Figure 2 scenario as a differential workload."""
+    def workload(batching: bool, caching: bool) -> DifferentialRun:
+        return run_figure2(mode, batching, caching, **kwargs)
+    return workload
+
+
+# ---------------------------------------------------------------------------
+# Workload 2: virtual fault simulation with a remote testability servant
+# ---------------------------------------------------------------------------
+
+
+def run_fault_sim(batching: bool, caching: bool, seed: int = 0,
+                  n_inputs: int = 4, n_gates: int = 12, n_outputs: int = 3,
+                  patterns: int = 24, repeats: int = 2,
+                  network: NetworkModel = LAN) -> DifferentialRun:
+    """Virtual fault simulation of a seeded random netlist over RMI.
+
+    The embedded experiment's local servant is re-bound behind a real
+    RMI stub over a (possibly wrapped) in-process transport, exactly as
+    a protected provider would serve it.  Running the pattern set
+    ``repeats`` times gives the response cache cross-run hits: the
+    second run re-fetches the same detection tables the first run
+    already paid round trips for.
+    """
+    netlist = random_netlist(n_inputs, n_gates, n_outputs, seed=seed,
+                             name=f"diff-{seed}")
+    experiment = build_embedded(netlist, block_name=f"IP{seed}")
+    servant = experiment.virtual.ip_blocks[0].stub
+    assert isinstance(servant, TestabilityServant)
+
+    server = JavaCADServer("testability.provider")
+    server.bind("testability", servant, TestabilityServant.REMOTE_METHODS)
+    base = server.connect(network)
+    transport = wrap_transport(base, batching=batching, caching=caching)
+    experiment.virtual.ip_blocks[0].stub = RemoteStub(
+        transport, "testability", TestabilityServant.REMOTE_METHODS)
+
+    pattern_set = experiment.random_patterns(patterns, seed=seed)
+    artifacts: Dict[str, Any] = {"runs": []}
+    for _ in range(repeats):
+        report = experiment.virtual.run(pattern_set)
+        artifacts["runs"].append({
+            "detected": dict(sorted(report.detected.items())),
+            "coverage": report.coverage,
+            "history": report.coverage_history(),
+        })
+    transport.flush()
+    return DifferentialRun(
+        mode="", fingerprint=fingerprint_of(artifacts),
+        artifacts=artifacts, round_trips=base.stats.calls,
+        logical_calls=transport.stats.calls)
+
+
+def fault_sim_workload(seed: int, **kwargs
+                       ) -> Callable[[bool, bool], DifferentialRun]:
+    """A seeded virtual-fault-simulation differential workload."""
+    def workload(batching: bool, caching: bool) -> DifferentialRun:
+        return run_fault_sim(batching, caching, seed=seed, **kwargs)
+    return workload

@@ -1,0 +1,83 @@
+"""Differential tests: wire optimizations never change results.
+
+Every seeded workload runs under the four wire configurations of
+:data:`harness.WIRE_MODES`; the serialized functional artifacts must be
+byte-identical while the true round-trip counters drop.  This is the
+correctness proof for the batching + caching invocation layer.
+"""
+
+import pytest
+
+from .harness import (WIRE_MODES, assert_identical, fault_sim_workload,
+                      figure2_workload, run_all_modes)
+
+
+class TestFigure2Differential:
+    """The paper's ER/MR scenarios under every wire configuration."""
+
+    def test_er_blocking_identical(self):
+        runs = run_all_modes(figure2_workload(
+            "ER", patterns=40, buffer_size=5, seed=1))
+        assert_identical(runs)
+        assert runs["plain"].round_trips == runs["plain"].logical_calls
+        for mode in WIRE_MODES:
+            assert runs[mode].round_trips <= runs["plain"].round_trips
+
+    def test_er_nonblocking_chatty_batches_5x(self):
+        """The chatty workload: per-pattern oneway pushes (buffer of 1).
+
+        This is the acceptance benchmark -- batching must save at least
+        5x the transport round trips while producing byte-identical
+        traces and powers.
+        """
+        runs = run_all_modes(figure2_workload(
+            "ER", patterns=120, buffer_size=1, nonblocking=True, seed=2))
+        assert_identical(runs)
+        plain = runs["plain"].round_trips
+        combined = runs["batched+cached"].round_trips
+        assert combined > 0
+        assert plain >= 5 * combined, (
+            f"expected a >=5x round-trip reduction, got "
+            f"{plain} -> {combined}")
+        assert runs["batched"].round_trips * 5 <= plain
+        # The logical call count is an invariant of the workload.
+        counts = {run.logical_calls for run in runs.values()}
+        assert len(counts) == 1
+
+    def test_mr_identical(self):
+        runs = run_all_modes(figure2_workload("MR", patterns=30, seed=3))
+        assert_identical(runs)
+        for mode in WIRE_MODES:
+            assert runs[mode].round_trips <= runs["plain"].round_trips
+
+    def test_mr_narrow_width_caching_saves(self):
+        """4-bit operands over 60 patterns force repeated evaluate()
+        stimuli, so the response cache must shed round trips."""
+        runs = run_all_modes(figure2_workload(
+            "MR", width=4, patterns=60, seed=4))
+        assert_identical(runs)
+        assert runs["cached"].round_trips < runs["plain"].round_trips
+        assert runs["batched+cached"].round_trips \
+            <= runs["cached"].round_trips
+
+
+class TestFaultSimDifferential:
+    """Virtual fault simulation over RMI, three seeded netlists."""
+
+    @pytest.mark.parametrize("seed", [11, 23, 37])
+    def test_seeded_netlists_identical(self, seed):
+        runs = run_all_modes(fault_sim_workload(seed))
+        assert_identical(runs)
+        # Two identical pattern runs: the response cache answers the
+        # second run's detection-table fetches without the wire.
+        assert runs["cached"].round_trips < runs["plain"].round_trips
+        assert runs["batched+cached"].round_trips \
+            <= runs["cached"].round_trips
+        # Coverage is real work, not a vacuous pass.
+        assert runs["plain"].artifacts["runs"][0]["coverage"] > 0
+
+    def test_repeat_runs_agree_within_mode(self):
+        runs = run_all_modes(fault_sim_workload(23))
+        for run in runs.values():
+            first, second = run.artifacts["runs"]
+            assert first == second

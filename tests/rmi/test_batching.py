@@ -1,0 +1,168 @@
+"""BatchingTransport: queueing, coalescing, ordering, error semantics."""
+
+import pytest
+
+from repro.core import RemoteError
+from repro.net.model import LOCALHOST, WAN
+from repro.net.clock import VirtualClock
+from repro.rmi import (BatchingTransport, JavaCADServer, RemoteStub,
+                       base_transport_of, wrap_transport)
+
+
+class JournalServant:
+    """Records every call in arrival order; supports failures."""
+
+    def __init__(self):
+        self.journal = []
+
+    def note(self, value):
+        self.journal.append(value)
+        return value
+
+    def total(self):
+        return sum(self.journal)
+
+    def boom(self):
+        raise ValueError("servant exploded")
+
+
+@pytest.fixture
+def servant():
+    return JournalServant()
+
+
+@pytest.fixture
+def server(servant):
+    server = JavaCADServer("batch.provider")
+    server.bind("journal", servant, ["note", "total", "boom"])
+    return server
+
+
+def batched(server, max_batch=8):
+    return BatchingTransport(server.connect(LOCALHOST),
+                             max_batch=max_batch)
+
+
+class TestQueueing:
+    def test_oneway_calls_queue_without_sending(self, server):
+        transport = batched(server)
+        for value in (1, 2, 3):
+            transport.invoke("journal", "note", (value,), oneway=True)
+        assert transport.pending == 3
+        assert transport.inner.stats.calls == 0
+
+    def test_blocking_call_coalesces_the_queue(self, server, servant):
+        transport = batched(server)
+        transport.invoke("journal", "note", (1,), oneway=True)
+        transport.invoke("journal", "note", (2,), oneway=True)
+        assert transport.invoke("journal", "total") == 3
+        # One frame carried all three calls, in issue order.
+        assert transport.inner.stats.calls == 1
+        assert transport.inner.stats.batches == 1
+        assert transport.inner.stats.batched_calls == 3
+        assert servant.journal == [1, 2]
+        assert transport.pending == 0
+
+    def test_lone_blocking_call_stays_a_plain_frame(self, server):
+        transport = batched(server)
+        assert transport.invoke("journal", "note", (7,)) == 7
+        assert transport.inner.stats.calls == 1
+        assert transport.inner.stats.batches == 0
+
+    def test_queue_flushes_at_max_batch(self, server, servant):
+        transport = batched(server, max_batch=4)
+        for value in range(6):
+            transport.invoke("journal", "note", (value,), oneway=True)
+        # 4 went out as one frame; 2 still pending.
+        assert transport.inner.stats.calls == 1
+        assert transport.pending == 2
+        assert servant.journal == [0, 1, 2, 3]
+
+    def test_explicit_flush_drains_the_queue(self, server, servant):
+        transport = batched(server)
+        transport.invoke("journal", "note", (5,), oneway=True)
+        transport.invoke("journal", "note", (6,), oneway=True)
+        transport.flush()
+        assert transport.pending == 0
+        assert servant.journal == [5, 6]
+        transport.flush()  # idempotent on an empty queue
+        assert transport.inner.stats.calls == 1
+
+    def test_flush_of_one_is_not_a_batch(self, server, servant):
+        transport = batched(server)
+        transport.invoke("journal", "note", (9,), oneway=True)
+        transport.flush()
+        assert servant.journal == [9]
+        assert transport.inner.stats.batches == 0
+        assert transport.inner.stats.oneway_calls == 1
+
+    def test_max_batch_must_allow_coalescing(self, server):
+        with pytest.raises(ValueError, match="max_batch >= 2"):
+            batched(server, max_batch=1)
+
+
+class TestAccounting:
+    def test_saved_round_trips(self, server):
+        transport = batched(server)
+        for value in range(5):
+            transport.invoke("journal", "note", (value,), oneway=True)
+        transport.invoke("journal", "total")
+        # 6 logical calls, 1 frame: 5 round trips saved.
+        assert transport.saved_round_trips == 5
+        assert transport.stats.calls == 6
+        assert transport.stats.oneway_calls == 5
+
+    def test_oneway_batch_does_not_block_virtual_time(self, server):
+        clock = VirtualClock()
+        inner = server.connect(WAN, clock=clock)
+        transport = BatchingTransport(inner)
+        for value in range(4):
+            transport.invoke("journal", "note", (value,), oneway=True)
+        transport.flush()
+        # An all-oneway frame keeps fire-and-forget semantics: wall
+        # time catches up only on sync.
+        assert clock.wall == pytest.approx(clock.cpu)
+        clock.sync()
+        assert clock.wall > clock.cpu
+
+
+class TestErrors:
+    def test_blocking_error_raises(self, server):
+        transport = batched(server)
+        transport.invoke("journal", "note", (1,), oneway=True)
+        with pytest.raises(RemoteError, match="servant exploded"):
+            transport.invoke("journal", "boom")
+        assert transport.stats.errors == 1
+        assert transport.pending == 0
+
+    def test_oneway_error_is_counted_not_raised(self, server, servant):
+        transport = batched(server)
+        transport.invoke("journal", "boom", oneway=True)
+        transport.invoke("journal", "note", (4,), oneway=True)
+        assert transport.invoke("journal", "total") == 4
+        assert transport.stats.errors == 1
+        # The failure did not poison the calls behind it.
+        assert servant.journal == [4]
+
+    def test_close_flushes_first(self, server, servant):
+        transport = batched(server)
+        transport.invoke("journal", "note", (8,), oneway=True)
+        transport.close()
+        assert servant.journal == [8]
+
+
+class TestStubIntegration:
+    def test_stub_rides_the_batching_transport(self, server, servant):
+        transport = batched(server)
+        stub = RemoteStub(transport, "journal", ["note", "total"])
+        stub.invoke_oneway("note", 10)
+        stub.invoke_oneway("note", 20)
+        assert stub.total() == 30
+        assert stub.calls == 3
+        assert transport.inner.stats.calls == 1
+
+    def test_wrap_and_unwrap(self, server):
+        base = server.connect(LOCALHOST)
+        transport = wrap_transport(base, batching=True, caching=True)
+        assert base_transport_of(transport) is base
+        assert wrap_transport(base) is base

@@ -136,3 +136,70 @@ class TestServerLifecycle:
         finally:
             transport.close()
             server.stop_tcp()
+
+
+class TestTcpBatching:
+    """BATCH frames across a real socket: one frame, many calls."""
+
+    def test_invoke_batch_over_the_socket(self, tcp_server):
+        from repro.rmi.protocol import CallRequest
+
+        _server, host, port = tcp_server
+        transport = TcpTransport(host, port)
+        try:
+            requests = [CallRequest("math", "add", (i, i)) for i in
+                        range(5)]
+            replies = transport.invoke_batch(requests)
+            assert [r.result for r in replies] == [0, 2, 4, 6, 8]
+            assert all(r.ok for r in replies)
+            assert transport.stats.calls == 1
+            assert transport.stats.batches == 1
+            assert transport.stats.batched_calls == 5
+        finally:
+            transport.close()
+
+    def test_batching_transport_over_tcp(self, tcp_server):
+        from repro.rmi import BatchingTransport
+
+        _server, host, port = tcp_server
+        transport = BatchingTransport(TcpTransport(host, port))
+        try:
+            transport.invoke("math", "add", (1, 1), oneway=True)
+            transport.invoke("math", "add", (2, 2), oneway=True)
+            assert transport.invoke("math", "add", (3, 3)) == 6
+            assert transport.inner.stats.calls == 1
+            assert transport.saved_round_trips == 2
+        finally:
+            transport.close()
+
+    def test_batch_error_isolation_over_tcp(self, tcp_server):
+        from repro.rmi.protocol import CallRequest
+
+        _server, host, port = tcp_server
+        transport = TcpTransport(host, port)
+        try:
+            replies = transport.invoke_batch([
+                CallRequest("math", "add", (1, 1)),
+                CallRequest("math", "fail"),
+                CallRequest("math", "add", (2, 2)),
+            ])
+            assert replies[0].ok and replies[0].result == 2
+            assert not replies[1].ok and "nope" in replies[1].error
+            assert replies[2].ok and replies[2].result == 4
+        finally:
+            transport.close()
+
+    def test_caching_transport_over_tcp(self, tcp_server):
+        from repro.rmi import CachePolicy, CachingTransport, PURE_METHODS
+
+        _server, host, port = tcp_server
+        transport = CachingTransport(
+            TcpTransport(host, port),
+            policy=CachePolicy(methods=PURE_METHODS | {"add"}))
+        try:
+            assert transport.invoke("math", "add", (20, 1)) == 21
+            assert transport.invoke("math", "add", (20, 1)) == 21
+            assert transport.inner.stats.calls == 1
+            assert transport.saved_round_trips == 1
+        finally:
+            transport.close()

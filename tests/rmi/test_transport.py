@@ -147,6 +147,19 @@ class TestStub:
             stub.boom()
         with pytest.raises(RemoteError, match="exports no method"):
             stub.invoke("boom")
+        # A locally rejected call never reached the transport: it is
+        # neither a completed call nor a transport error.
+        assert stub.calls == 0
+        assert stub.errors == 0
+
+    def test_calls_counts_successes_only(self, server):
+        stub = RemoteStub(server.connect(LOCALHOST), "echo",
+                          ["echo", "boom"])
+        assert stub.echo(1) == 1
+        with pytest.raises(RemoteError, match="servant exploded"):
+            stub.boom()
+        assert stub.calls == 1
+        assert stub.errors == 1
 
     def test_read_only(self, server):
         stub = RemoteStub(server.connect(LOCALHOST), "echo", ["echo"])
