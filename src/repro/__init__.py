@@ -18,13 +18,15 @@ Package map:
 * :mod:`repro.power` -- the Table 1 power estimators.
 * :mod:`repro.faults` -- detection tables and virtual fault simulation.
 * :mod:`repro.ip` -- IP component packaging, providers, billing.
+* :mod:`repro.parallel` -- sharded multi-worker fault simulation and
+  scenario fan-out over a process pool.
 * :mod:`repro.bench` -- harnesses regenerating the paper's tables/figures.
 """
 
 from . import (behav, bench, core, estimation, faults, gates, ip, net,
-               power, rmi, rtl)
+               parallel, power, rmi, rtl)
 
 __version__ = "1.0.0"
 
 __all__ = ["behav", "bench", "core", "estimation", "faults", "gates",
-           "ip", "net", "power", "rmi", "rtl", "__version__"]
+           "ip", "net", "parallel", "power", "rmi", "rtl", "__version__"]

@@ -2,10 +2,13 @@
 
 from .faultbench import (EmbeddedExperiment, Figure4Setup,
                          PublicFunctionalModel, build_embedded,
-                         build_figure4, build_sequential_wrapper, figure4_flat_netlist,
-                         figure4_internal_faults, functional_model_of)
+                         build_figure4, build_sequential_wrapper,
+                         chatty_fault_bench, embedded_simulator,
+                         figure4_flat_netlist, figure4_internal_faults,
+                         figure4_simulator, functional_model_of)
 from .reporting import (ascii_plot, dump_metrics, dump_summary, dump_trace,
-                        format_series, format_table, telemetry_session)
+                        format_series, format_table, telemetry_session,
+                        write_bench_report)
 from .scenarios import (DEFAULT_BUFFER, DEFAULT_PATTERNS, DEFAULT_WIDTH,
                         SCENARIOS, Figure2Design, ScenarioResult,
                         run_buffer_sweep, run_scenario, run_table2,
@@ -16,10 +19,12 @@ from .timing import VirtualSpan, measure
 
 __all__ = [
     "EmbeddedExperiment", "Figure4Setup", "PublicFunctionalModel",
-    "build_embedded", "build_figure4", "build_sequential_wrapper", "figure4_flat_netlist",
-    "figure4_internal_faults", "functional_model_of",
+    "build_embedded", "build_figure4", "build_sequential_wrapper",
+    "chatty_fault_bench", "embedded_simulator", "figure4_flat_netlist",
+    "figure4_internal_faults", "figure4_simulator", "functional_model_of",
     "ascii_plot", "dump_metrics", "dump_summary", "dump_trace",
     "format_series", "format_table", "telemetry_session",
+    "write_bench_report",
     "DEFAULT_BUFFER", "DEFAULT_PATTERNS", "DEFAULT_WIDTH", "SCENARIOS",
     "Figure2Design", "ScenarioResult", "run_buffer_sweep", "run_scenario",
     "run_table2", "shared_provider",

@@ -155,6 +155,44 @@ def figure4_flat_netlist() -> Netlist:
     return flat
 
 
+def figure4_simulator(collapse: str = "none") -> VirtualFaultSimulator:
+    """A fresh Figure 4 virtual fault simulator (worker-pool factory).
+
+    Module-level so it pickles by reference: each
+    :mod:`repro.parallel` worker calls it to build an isolated circuit,
+    servant and controller stack in its own process.
+    """
+    return build_figure4(collapse=collapse).simulator
+
+
+def embedded_simulator(ip_netlist: Optional[Netlist] = None,
+                       collapse: str = "equivalence",
+                       block_name: str = "IP") -> VirtualFaultSimulator:
+    """A fresh embedded-IP virtual simulator (worker-pool factory).
+
+    Defaults to the Figure 4 IP1 block behind guard gates; pass any
+    combinational netlist to embed something bigger.
+    """
+    return build_embedded(ip_netlist or ip1_block(), collapse=collapse,
+                          block_name=block_name).virtual
+
+
+def chatty_fault_bench(n_inputs: int = 12, n_gates: int = 160,
+                       n_outputs: int = 8, seed: int = 7) -> Netlist:
+    """A dense random netlist whose fault campaign dominates CPU time.
+
+    This is the workload the parallel-speedup trajectory
+    (``benchmarks/test_parallel_speedup.py``) and the CLI's builtin
+    ``chatty`` bench measure: hundreds of collapsed faults over a
+    levelized network deep enough that each faulty simulation does real
+    work, so sharding across cores pays off.
+    """
+    from ..gates.generators import random_netlist
+
+    return random_netlist(n_inputs, n_gates, n_outputs, seed=seed,
+                          name="chatty")
+
+
 def figure4_internal_faults(fault_list: FaultList) -> List[str]:
     """IP1 faults that are internal (exclude boundary IIP*/OIP* stems).
 

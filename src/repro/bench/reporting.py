@@ -14,7 +14,9 @@ dumps a Chrome trace and/or a JSON metrics snapshot.  See
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+import json
+import os
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from ..telemetry import (TELEMETRY, export_chrome_trace,
                          export_metrics_json, export_summary,
@@ -23,7 +25,26 @@ from ..telemetry import (TELEMETRY, export_chrome_trace,
 __all__ = [
     "ascii_plot", "dump_metrics", "dump_summary", "dump_trace",
     "format_series", "format_table", "telemetry_session",
+    "write_bench_report",
 ]
+
+
+def write_bench_report(name: str, payload: Dict[str, Any],
+                       directory: str = "") -> str:
+    """Persist a benchmark's headline numbers as ``BENCH_<name>.json``.
+
+    This is the perf-trajectory hook: a benchmark records its wall
+    times/speedups/coverage once per run, and future PRs regress
+    against the committed or CI-archived snapshot.  ``directory``
+    defaults to ``$REPRO_BENCH_DIR`` or the current directory; the file
+    is written with sorted keys so diffs stay stable.
+    """
+    directory = directory or os.environ.get("REPRO_BENCH_DIR", ".")
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def dump_trace(path: str) -> None:

@@ -12,11 +12,40 @@ Usage (also available as the ``repro-bench`` console script)::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import random
 import sys
 from typing import List, Optional
 
 from .bench.reporting import ascii_plot, format_table
+
+BUILTIN_BENCHES = ("c17", "figure4", "chatty")
+"""Netlist names the fault-simulation commands accept besides files."""
+
+
+def _load_netlist(spec: str):
+    """Load a ``.bench`` file, or build one of the builtin benches."""
+    if os.path.exists(spec):
+        from .gates.io import read_bench
+
+        with open(spec) as handle:
+            return read_bench(handle.read(), name=spec)
+    if spec == "c17":
+        from .gates.io import c17
+
+        return c17()
+    if spec == "figure4":
+        from .bench.faultbench import figure4_flat_netlist
+
+        return figure4_flat_netlist()
+    if spec == "chatty":
+        from .bench.faultbench import chatty_fault_bench
+
+        return chatty_fault_bench()
+    print(f"error: {spec!r} is neither a file nor a builtin bench "
+          f"({', '.join(BUILTIN_BENCHES)})", file=sys.stderr)
+    return None
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -35,10 +64,19 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    from .bench.scenarios import run_table2
+    from .parallel import resolve_workers, run_table2_parallel
 
-    rows = run_table2(width=args.width, patterns=args.patterns,
-                      buffer_size=args.buffer)
+    workers = resolve_workers(getattr(args, "workers", 0) or None)
+    if workers > 1:
+        rows = run_table2_parallel(width=args.width,
+                                   patterns=args.patterns,
+                                   buffer_size=args.buffer,
+                                   workers=workers)
+    else:
+        from .bench.scenarios import run_table2
+
+        rows = run_table2(width=args.width, patterns=args.patterns,
+                          buffer_size=args.buffer)
     print(f"Table 2 -- {args.patterns} patterns, buffer of "
           f"{args.buffer}:")
     print(format_table(
@@ -95,20 +133,29 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
     from .core.signal import Logic
     from .faults.faultlist import build_fault_list
     from .faults.serial import SerialFaultSimulator
-    from .gates.io import read_bench
+    from .parallel import parallel_fault_simulate, resolve_workers
 
-    with open(args.netlist) as handle:
-        netlist = read_bench(handle.read(), name=args.netlist)
+    netlist = _load_netlist(args.netlist)
+    if netlist is None:
+        return 2
     fault_list = build_fault_list(netlist, collapse=args.collapse)
-    simulator = SerialFaultSimulator(netlist, fault_list)
     rng = random.Random(args.seed)
     patterns = [{net: Logic(rng.getrandbits(1))
                  for net in netlist.inputs}
                 for _ in range(args.patterns)]
-    report = simulator.run(patterns)
+    workers = resolve_workers(getattr(args, "workers", 0) or None)
+    if workers > 1 and len(fault_list) > 1:
+        report = parallel_fault_simulate(netlist, patterns,
+                                         fault_list=fault_list,
+                                         workers=workers)
+    else:
+        workers = 1
+        report = SerialFaultSimulator(netlist, fault_list).run(patterns)
     print(f"{args.netlist}: {netlist.gate_count()} gates, "
           f"{len(netlist.inputs)} inputs, {len(netlist.outputs)} outputs")
     print(f"fault list ({args.collapse}): {len(fault_list)} faults")
+    if workers > 1:
+        print(f"sharded across {workers} workers")
     print(f"{args.patterns} random patterns -> "
           f"{report.detected_count}/{report.total_faults} detected "
           f"({report.coverage:.1%} coverage)")
@@ -116,21 +163,47 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
         history = report.coverage_history()
         print(ascii_plot(list(enumerate(history)),
                          label="coverage vs pattern"))
+    if args.report_out:
+        payload = {
+            "netlist": args.netlist,
+            "gates": netlist.gate_count(),
+            "collapse": args.collapse,
+            "patterns": args.patterns,
+            "seed": args.seed,
+            "workers": workers,
+            "total_faults": report.total_faults,
+            "detected": report.detected,
+            "coverage": report.coverage,
+            "undetected": sorted(report.undetected(fault_list.names())),
+            "coverage_history": report.coverage_history(),
+        }
+        with open(args.report_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.report_out}")
     return 0
 
 
 def _cmd_atpg(args: argparse.Namespace) -> int:
-    from .faults.atpg import generate_test_set
     from .faults.faultlist import build_fault_list
-    from .gates.io import read_bench
     from .gates.scoap import ScoapAnalysis
+    from .parallel import parallel_generate_test_set, resolve_workers
 
-    with open(args.netlist) as handle:
-        netlist = read_bench(handle.read(), name=args.netlist)
+    netlist = _load_netlist(args.netlist)
+    if netlist is None:
+        return 2
     fault_list = build_fault_list(netlist, collapse=args.collapse)
-    test_set = generate_test_set(netlist, fault_list,
-                                 random_patterns=args.random_patterns,
-                                 seed=args.seed)
+    workers = resolve_workers(getattr(args, "workers", 0) or None)
+    if workers > 1 and len(fault_list) > 1:
+        test_set = parallel_generate_test_set(
+            netlist, fault_list, workers=workers,
+            random_patterns=args.random_patterns, seed=args.seed)
+    else:
+        from .faults.atpg import generate_test_set
+
+        test_set = generate_test_set(
+            netlist, fault_list, random_patterns=args.random_patterns,
+            seed=args.seed)
     print(f"{args.netlist}: {netlist.gate_count()} gates, "
           f"{len(fault_list)} target faults ({args.collapse})")
     print(f"test set: {len(test_set.patterns)} patterns, "
@@ -235,7 +308,8 @@ def _cmd_all(args: argparse.Namespace) -> int:
     print("=" * 66)
     _cmd_table2(argparse.Namespace(width=8 if quick else 16,
                                    patterns=40 if quick else 100,
-                                   buffer=5))
+                                   buffer=5,
+                                   workers=getattr(args, "workers", 0)))
     print()
     print("=" * 66)
     print("Figure 3 -- buffer-size sweep")
@@ -279,6 +353,9 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument(
         "--rmi-max-batch", type=int, metavar="N", default=None,
         help="auto-flush the batch queue at N queued calls")
+    telemetry.add_argument(
+        "--rmi-timeout", type=float, metavar="SECONDS", default=None,
+        help="socket timeout for TCP RMI transports (default 5.0)")
     subparsers = parser.add_subparsers(dest="command", required=True,
                                        parser_class=lambda **kw:
                                        argparse.ArgumentParser(
@@ -295,6 +372,9 @@ def build_parser() -> argparse.ArgumentParser:
     table2.add_argument("--width", type=int, default=16)
     table2.add_argument("--patterns", type=int, default=100)
     table2.add_argument("--buffer", type=int, default=5)
+    table2.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="run scenarios concurrently on N worker "
+                             "processes (0 = one per CPU core)")
     table2.set_defaults(fn=_cmd_table2)
 
     figure3 = subparsers.add_parser(
@@ -309,24 +389,38 @@ def build_parser() -> argparse.ArgumentParser:
     figure4.set_defaults(fn=_cmd_figure4)
 
     faultsim = subparsers.add_parser(
-        "faultsim", help="serial fault simulation of a .bench netlist")
-    faultsim.add_argument("netlist", help="ISCAS .bench file")
+        "faultsim", help="fault simulation of a .bench netlist "
+                         "(serial or sharded across workers)")
+    faultsim.add_argument("netlist",
+                          help="ISCAS .bench file or builtin bench "
+                               f"({', '.join(BUILTIN_BENCHES)})")
     faultsim.add_argument("--patterns", type=int, default=64)
     faultsim.add_argument("--seed", type=int, default=0)
     faultsim.add_argument("--collapse", default="equivalence",
                           choices=["none", "equivalence", "dominance"])
     faultsim.add_argument("--history", action="store_true",
                           help="plot incremental coverage")
+    faultsim.add_argument("--workers", type=int, default=0, metavar="N",
+                          help="shard the fault list across N worker "
+                               "processes (0 = one per CPU core)")
+    faultsim.add_argument("--report-out", metavar="FILE", default=None,
+                          help="write the full report (detected map, "
+                               "coverage, undetected) as JSON to FILE")
     faultsim.set_defaults(fn=_cmd_faultsim)
 
     atpg = subparsers.add_parser(
         "atpg", help="generate a stuck-at test set for a .bench netlist")
-    atpg.add_argument("netlist", help="ISCAS .bench file")
+    atpg.add_argument("netlist",
+                      help="ISCAS .bench file or builtin bench "
+                           f"({', '.join(BUILTIN_BENCHES)})")
     atpg.add_argument("--random-patterns", type=int, default=32)
     atpg.add_argument("--seed", type=int, default=0)
     atpg.add_argument("--collapse", default="equivalence",
                       choices=["none", "equivalence", "dominance"])
     atpg.add_argument("--show-patterns", action="store_true")
+    atpg.add_argument("--workers", type=int, default=0, metavar="N",
+                      help="shard target faults across N worker "
+                           "processes (0 = one per CPU core)")
     atpg.set_defaults(fn=_cmd_atpg)
 
     scoap = subparsers.add_parser(
@@ -348,6 +442,10 @@ def build_parser() -> argparse.ArgumentParser:
         "all", help="run every paper experiment (use --quick for a "
                     "reduced-scale pass)")
     everything.add_argument("--quick", action="store_true")
+    everything.add_argument("--workers", type=int, default=0,
+                            metavar="N",
+                            help="run independent scenarios on N "
+                                 "worker processes (0 = one per core)")
     everything.set_defaults(fn=_cmd_all)
     return parser
 
@@ -366,7 +464,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         stack.enter_context(wire_session(
             batching=getattr(args, "rmi_batch", False) or None,
             caching=getattr(args, "rmi_cache", False) or None,
-            max_batch=getattr(args, "rmi_max_batch", None)))
+            max_batch=getattr(args, "rmi_max_batch", None),
+            rmi_timeout=getattr(args, "rmi_timeout", None)))
         if trace_out is None and metrics_out is None:
             return args.fn(args)
 

@@ -65,6 +65,10 @@ class FaultSimulationError(ReproError):
     """Problem during (virtual) fault simulation."""
 
 
+class ParallelExecutionError(ReproError):
+    """A sharded multi-worker run failed (bad worker count, task error)."""
+
+
 class IPProtectionError(ReproError):
     """An operation would have disclosed IP-protected information."""
 

@@ -135,6 +135,25 @@ class FaultList:
         """(symbolic name, representative fault) pairs."""
         return tuple(self._faults.items())
 
+    def subset(self, names: Iterable[str]) -> "FaultList":
+        """A restricted fault list over ``names``, preserving classes.
+
+        The restriction keeps each name's collapsed class intact, so
+        per-shard universe accounting still adds up across a partition;
+        unknown names raise :class:`FaultSimulationError`.
+        """
+        wanted = list(names)
+        missing = [name for name in wanted if name not in self._faults]
+        if missing:
+            raise FaultSimulationError(
+                f"component {self.component!r} has no fault(s) "
+                f"{missing[:5]!r}")
+        return FaultList(
+            self.component,
+            {name: self._faults[name] for name in wanted},
+            {name: self._classes.get(name, (self._faults[name],))
+             for name in wanted})
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"FaultList({self.component!r}, {len(self)} collapsed / "
                 f"{self.universe_size()} total)")

@@ -212,9 +212,16 @@ class VirtualFaultSimulator:
                 composed[f"{block.name}:{name}"] = (block, name)
         return composed
 
-    def run(self, patterns: Sequence[Mapping[str, object]]
-            ) -> FaultSimReport:
-        """Phase 2: fault-simulate a pattern sequence with fault dropping."""
+    def run(self, patterns: Sequence[Mapping[str, object]],
+            only: Optional[Sequence[str]] = None) -> FaultSimReport:
+        """Phase 2: fault-simulate a pattern sequence with fault dropping.
+
+        ``only`` restricts the campaign to a subset of qualified
+        (``block:fault``) names -- the shard interface used by
+        :mod:`repro.parallel`.  Whether a pattern detects a fault never
+        depends on the rest of the target list, so restricted runs over
+        a disjoint partition merge into exactly the full run's report.
+        """
         # Cached tables were fetched against an earlier run's undetected
         # set; a new run resets the fault list, so stale tables could
         # silently miss faults dropped before their fetch.  Within one
@@ -222,6 +229,16 @@ class VirtualFaultSimulator:
         for block in self.ip_blocks:
             block._table_cache.clear()
         composed = self.build_fault_list()
+        if only is not None:
+            wanted = set(only)
+            unknown = wanted.difference(composed)
+            if unknown:
+                raise FaultSimulationError(
+                    f"unknown qualified fault name(s): "
+                    f"{sorted(unknown)[:5]}")
+            composed = {qualified: origin
+                        for qualified, origin in composed.items()
+                        if qualified in wanted}
         remaining: Dict[str, Set[str]] = {
             block.name: set() for block in self.ip_blocks}
         for qualified, (block, local_name) in composed.items():

@@ -1,0 +1,120 @@
+"""Sharded multi-process serial fault simulation and ATPG.
+
+The entry points here partition an embarrassingly parallel campaign --
+one independent faulty simulation per (fault, pattern) pair -- across a
+:class:`~repro.parallel.pool.WorkerPool` and merge the per-shard
+results back deterministically:
+
+* :func:`parallel_fault_simulate` shards a
+  :class:`~repro.faults.faultlist.FaultList` and runs
+  :class:`~repro.faults.serial.SerialFaultSimulator` per shard; the
+  merged :class:`~repro.faults.serial.FaultSimReport` is identical to
+  the serial run's (same detected map, same per-pattern history).
+* :func:`parallel_generate_test_set` shards ATPG the same way; the
+  merged :class:`~repro.faults.atpg.TestSet` covers the same faults but
+  may carry more patterns than a serial run (each shard generates its
+  own), so it is a *valid* test set rather than a byte-identical one.
+
+Workers receive the netlist and their shard's restricted fault list by
+value (both pickle cleanly -- cell logic functions are module-level),
+plus the full pattern sequence; no state is shared between workers, so
+this is the paper's multiple-concurrent-schedulers claim realized at
+process granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Mapping, Optional, Sequence
+
+from ..core.signal import Logic
+from ..faults.atpg import TestSet, generate_test_set
+from ..faults.faultlist import FaultList, build_fault_list
+from ..faults.serial import FaultSimReport, SerialFaultSimulator
+from ..gates.netlist import Netlist
+from ..telemetry.runtime import TELEMETRY
+from .merge import merge_reports, merge_test_sets
+from .pool import WorkerPool, resolve_workers
+from .sharding import default_shard_count, shard_fault_list
+
+
+def _simulate_fault_shard(payload) -> FaultSimReport:
+    """Worker task: serially fault-simulate one shard of the list."""
+    netlist, fault_list, patterns, drop_detected = payload
+    simulator = SerialFaultSimulator(netlist, fault_list)
+    return simulator.run(patterns, drop_detected=drop_detected)
+
+
+def parallel_fault_simulate(netlist: Netlist,
+                            patterns: Sequence[Mapping[str, Logic]],
+                            fault_list: Optional[FaultList] = None,
+                            workers: Optional[int] = None,
+                            shards: Optional[int] = None,
+                            weight_of: Optional[Callable[[str], float]]
+                            = None,
+                            drop_detected: bool = True,
+                            pool: Optional[WorkerPool] = None
+                            ) -> FaultSimReport:
+    """Fault-simulate ``patterns`` with the fault list sharded over workers.
+
+    ``workers`` follows the CLI convention (``None``/``0`` = one per
+    CPU core); a resolved count of one falls back to the exact serial
+    code path.  ``shards`` defaults to several chunks per worker so the
+    pool's queue keeps every worker busy until the end; ``weight_of``
+    switches round-robin sharding to cost-weighted balancing.
+    """
+    fault_list = fault_list or build_fault_list(netlist)
+    worker_count = pool.workers if pool is not None \
+        else resolve_workers(workers)
+    patterns = list(patterns)
+    if worker_count <= 1 or len(fault_list) <= 1:
+        return SerialFaultSimulator(netlist, fault_list).run(
+            patterns, drop_detected=drop_detected)
+    count = shards or default_shard_count(worker_count, len(fault_list))
+    parts = shard_fault_list(fault_list, count, weight_of=weight_of)
+    if TELEMETRY.enabled:
+        TELEMETRY.metrics.counter("parallel.shards").inc(len(parts))
+    payloads = [(netlist, fault_list.subset(part.names), patterns,
+                 drop_detected) for part in parts]
+    pool = pool or WorkerPool(worker_count)
+    outcomes = pool.map(_simulate_fault_shard, payloads)
+    return merge_reports([outcome.value for outcome in outcomes])
+
+
+def _generate_shard_tests(payload) -> TestSet:
+    """Worker task: random-then-deterministic ATPG over one shard."""
+    netlist, fault_list, random_patterns, seed, max_backtracks = payload
+    return generate_test_set(netlist, fault_list,
+                             random_patterns=random_patterns, seed=seed,
+                             max_backtracks=max_backtracks)
+
+
+def parallel_generate_test_set(netlist: Netlist,
+                               fault_list: Optional[FaultList] = None,
+                               workers: Optional[int] = None,
+                               shards: Optional[int] = None,
+                               random_patterns: int = 32, seed: int = 0,
+                               max_backtracks: int = 20_000,
+                               pool: Optional[WorkerPool] = None
+                               ) -> TestSet:
+    """Generate a stuck-at test set with the fault list sharded over workers.
+
+    Every shard runs the full random-then-PODEM flow against its own
+    faults; see :func:`repro.parallel.merge.merge_test_sets` for the
+    merge semantics (union coverage, possibly more patterns).
+    """
+    fault_list = fault_list or build_fault_list(netlist)
+    worker_count = pool.workers if pool is not None \
+        else resolve_workers(workers)
+    if worker_count <= 1 or len(fault_list) <= 1:
+        return generate_test_set(netlist, fault_list,
+                                 random_patterns=random_patterns,
+                                 seed=seed, max_backtracks=max_backtracks)
+    count = shards or default_shard_count(worker_count, len(fault_list))
+    parts = shard_fault_list(fault_list, count)
+    if TELEMETRY.enabled:
+        TELEMETRY.metrics.counter("parallel.shards").inc(len(parts))
+    payloads = [(netlist, fault_list.subset(part.names), random_patterns,
+                 seed, max_backtracks) for part in parts]
+    pool = pool or WorkerPool(worker_count)
+    outcomes = pool.map(_generate_shard_tests, payloads)
+    return merge_test_sets([outcome.value for outcome in outcomes])

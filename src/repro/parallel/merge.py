@@ -1,0 +1,107 @@
+"""Deterministic merging of per-shard campaign results.
+
+Sharded fault simulation is exact, not approximate: a stuck-at fault's
+detection by a pattern does not depend on which other faults are in the
+target list (fault dropping removes a fault only after its *own* first
+detection), so per-shard :class:`~repro.faults.serial.FaultSimReport`\\ s
+recombine into precisely the report the serial run produces -- the same
+detected set with the same first-detecting pattern indices, the same
+per-pattern history, and therefore the same coverage curve.
+
+The merge refuses inputs that would break that guarantee: shards that
+simulated different pattern counts, or shards whose detected sets
+overlap (the fault partition was not disjoint).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.errors import ParallelExecutionError
+from ..faults.atpg import TestSet
+from ..faults.serial import FaultSimReport
+
+
+def merge_reports(reports: Sequence[FaultSimReport]) -> FaultSimReport:
+    """Recombine disjoint per-shard reports into one campaign report."""
+    reports = list(reports)
+    if not reports:
+        return FaultSimReport(total_faults=0)
+    pattern_counts = {len(report.per_pattern) for report in reports}
+    if len(pattern_counts) != 1:
+        raise ParallelExecutionError(
+            f"shard reports cover different pattern counts: "
+            f"{sorted(pattern_counts)}")
+    merged = FaultSimReport(
+        total_faults=sum(report.total_faults for report in reports))
+    for report in reports:
+        overlap = merged.detected.keys() & report.detected.keys()
+        if overlap:
+            raise ParallelExecutionError(
+                f"fault shards overlap on {sorted(overlap)[:5]}")
+        merged.detected.update(report.detected)
+    for index in range(pattern_counts.pop()):
+        newly = set()
+        for report in reports:
+            newly |= report.per_pattern[index]
+        merged.per_pattern.append(newly)
+    return merged
+
+
+def diff_reports(a: FaultSimReport, b: FaultSimReport) -> List[str]:
+    """Human-readable differences between two reports (empty = identical).
+
+    This is what the determinism regression tests and the CI smoke job
+    assert on: total fault count, the detected map (names *and* first
+    detecting pattern indices), and the per-pattern history.
+    """
+    differences: List[str] = []
+    if a.total_faults != b.total_faults:
+        differences.append(
+            f"total_faults: {a.total_faults} != {b.total_faults}")
+    only_a = sorted(a.detected.keys() - b.detected.keys())
+    only_b = sorted(b.detected.keys() - a.detected.keys())
+    if only_a:
+        differences.append(f"detected only in first: {only_a[:5]}")
+    if only_b:
+        differences.append(f"detected only in second: {only_b[:5]}")
+    for name in sorted(a.detected.keys() & b.detected.keys()):
+        if a.detected[name] != b.detected[name]:
+            differences.append(
+                f"first-detection index of {name}: "
+                f"{a.detected[name]} != {b.detected[name]}")
+    if len(a.per_pattern) != len(b.per_pattern):
+        differences.append(
+            f"pattern count: {len(a.per_pattern)} != {len(b.per_pattern)}")
+    else:
+        for index, (newly_a, newly_b) in enumerate(
+                zip(a.per_pattern, b.per_pattern)):
+            if newly_a != newly_b:
+                differences.append(
+                    f"per-pattern set {index}: "
+                    f"{sorted(newly_a ^ newly_b)[:5]} differ")
+    return differences
+
+
+def merge_test_sets(test_sets: Sequence[TestSet]) -> TestSet:
+    """Concatenate per-shard ATPG test sets into one.
+
+    Unlike fault-simulation merging this is *not* identical to the
+    serial run: each shard generates its own patterns, so the merged set
+    can be larger than (though never less covering than) the serial test
+    set.  Detected-fault indices are rebased onto the concatenated
+    pattern list; coverage accounting (detected / untestable / aborted)
+    is the disjoint union of the shards'.
+    """
+    merged = TestSet()
+    for test_set in test_sets:
+        offset = len(merged.patterns)
+        merged.patterns.extend(test_set.patterns)
+        for name, index in test_set.detected.items():
+            if name in merged.detected:
+                raise ParallelExecutionError(
+                    f"ATPG shards overlap on fault {name!r}")
+            merged.detected[name] = offset + index
+        merged.untestable.extend(test_set.untestable)
+        merged.aborted.extend(test_set.aborted)
+    return merged

@@ -1,0 +1,195 @@
+"""A process pool with deterministic result ordering and telemetry.
+
+:class:`WorkerPool` runs picklable task functions over a
+``concurrent.futures.ProcessPoolExecutor``.  Tasks are submitted all at
+once into the executor's shared work queue, so an idle worker steals
+the next pending shard instead of waiting for a static partition --
+callers are expected to cut several shards per worker (see
+:func:`repro.parallel.sharding.default_shard_count`).
+
+Results come back in *submission order* regardless of completion order,
+which is what makes parallel campaigns merge deterministically.
+
+Telemetry crosses the process boundary explicitly: when the parent's
+:data:`~repro.telemetry.runtime.TELEMETRY` is enabled at ``map()``
+time, each worker runs its task under a fresh telemetry session,
+snapshots its local metrics registry, and ships the snapshot back with
+the result.  The parent aggregates everything under ``parallel.*``
+instruments (see ``docs/observability.md``):
+
+* ``parallel.workers`` (gauge) -- pool size of the last run;
+* ``parallel.tasks`` / ``parallel.failures`` (counters);
+* ``parallel.task_wall_seconds`` (histogram) -- per-task wall time;
+* ``parallel.pool_wall_seconds`` (counter) -- end-to-end pool time;
+* ``parallel.worker.<metric>`` (counters) -- worker-side counters
+  summed across workers; worker histograms contribute
+  ``parallel.worker.<metric>.count`` / ``.sum``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..core.errors import ParallelExecutionError
+from ..telemetry.runtime import TELEMETRY
+
+_TASK_WALL_BUCKETS = (1e-3, 1e-2, 1e-1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0)
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Resolve a ``--workers`` value: ``None``/``0`` means one per core."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ParallelExecutionError(
+            f"worker count must be >= 0, got {workers}")
+    return workers
+
+
+@dataclass
+class TaskOutcome:
+    """One task's result plus its worker-side accounting."""
+
+    index: int
+    value: Any
+    wall_seconds: float
+    worker_pid: int
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    """The worker's metrics snapshot (empty when telemetry was off)."""
+
+
+def _execute_task(fn: Callable[[Any], Any], payload: Any,
+                  with_telemetry: bool):
+    """Worker-process entry point: run one task under local telemetry.
+
+    With ``with_telemetry`` the worker resets its (possibly
+    fork-inherited) global telemetry first, so the snapshot it returns
+    covers exactly this task and nothing double-counts in the parent.
+    """
+    begin = time.perf_counter()
+    if with_telemetry:
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+    try:
+        value = fn(payload)
+    finally:
+        if with_telemetry:
+            TELEMETRY.disable()
+    snapshot = TELEMETRY.metrics.snapshot() if with_telemetry else {}
+    return value, time.perf_counter() - begin, os.getpid(), snapshot
+
+
+class WorkerPool:
+    """Ordered fan-out of picklable tasks over worker processes.
+
+    ``workers`` follows the CLI convention (``None``/``0`` = one per
+    CPU core); a resolved pool of one runs tasks inline in the parent,
+    which keeps single-core hosts and ``--workers 1`` on the exact
+    serial code path with no pickling round trip.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = resolve_workers(workers)
+
+    def map(self, fn: Callable[[Any], Any],
+            payloads: Sequence[Any]) -> List[TaskOutcome]:
+        """Run ``fn`` over every payload; outcomes in submission order.
+
+        The first failing task aborts the run with a
+        :class:`ParallelExecutionError` chaining the worker's exception.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        collect = TELEMETRY.enabled
+        effective = min(self.workers, len(payloads))
+        pool_begin = time.perf_counter()
+        if effective <= 1:
+            outcomes = self._map_inline(fn, payloads)
+        else:
+            outcomes = self._map_processes(fn, payloads, effective, collect)
+        if collect:
+            self._account(outcomes, effective,
+                          time.perf_counter() - pool_begin)
+        return outcomes
+
+    # ------------------------------------------------------------------
+
+    def _map_inline(self, fn: Callable[[Any], Any],
+                    payloads: Sequence[Any]) -> List[TaskOutcome]:
+        # Inline tasks instrument the parent's registry directly, so no
+        # snapshot is taken (it would double-count everything).
+        outcomes: List[TaskOutcome] = []
+        for index, payload in enumerate(payloads):
+            begin = time.perf_counter()
+            value = fn(payload)
+            outcomes.append(TaskOutcome(index, value,
+                                        time.perf_counter() - begin,
+                                        os.getpid()))
+        return outcomes
+
+    def _map_processes(self, fn: Callable[[Any], Any],
+                       payloads: Sequence[Any], effective: int,
+                       collect: bool) -> List[TaskOutcome]:
+        outcomes: List[Optional[TaskOutcome]] = [None] * len(payloads)
+        with ProcessPoolExecutor(max_workers=effective) as executor:
+            futures = {
+                executor.submit(_execute_task, fn, payload, collect): index
+                for index, payload in enumerate(payloads)}
+            pending = set(futures)
+            failure: Optional[ParallelExecutionError] = None
+            while pending and failure is None:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    try:
+                        value, wall, pid, snapshot = future.result()
+                    except Exception as exc:
+                        if collect:
+                            TELEMETRY.metrics.counter(
+                                "parallel.failures").inc()
+                        failure = ParallelExecutionError(
+                            f"worker task {index} failed: {exc}")
+                        failure.__cause__ = exc
+                        break
+                    outcomes[index] = TaskOutcome(index, value, wall, pid,
+                                                  snapshot)
+            if failure is not None:
+                for future in pending:
+                    future.cancel()
+                raise failure
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    # ------------------------------------------------------------------
+
+    def _account(self, outcomes: Sequence[TaskOutcome], effective: int,
+                 pool_wall: float) -> None:
+        metrics = TELEMETRY.metrics
+        metrics.gauge("parallel.workers").set(effective)
+        metrics.counter("parallel.tasks").inc(len(outcomes))
+        metrics.counter("parallel.pool_wall_seconds").inc(pool_wall)
+        wall_hist = metrics.histogram("parallel.task_wall_seconds",
+                                      buckets=_TASK_WALL_BUCKETS)
+        for outcome in outcomes:
+            wall_hist.observe(outcome.wall_seconds)
+            self._merge_worker_metrics(outcome.metrics)
+
+    @staticmethod
+    def _merge_worker_metrics(snapshot: Dict[str, Any]) -> None:
+        metrics = TELEMETRY.metrics
+        for key, snap in snapshot.items():
+            kind = snap.get("type")
+            if kind == "counter":
+                metrics.counter(f"parallel.worker.{key}").inc(
+                    max(0.0, snap.get("value", 0.0)))
+            elif kind == "histogram":
+                metrics.counter(f"parallel.worker.{key}.count").inc(
+                    max(0, snap.get("count", 0)))
+                metrics.counter(f"parallel.worker.{key}.sum").inc(
+                    max(0.0, snap.get("sum", 0.0)))
+            # Gauges are point-in-time worker state; summing them across
+            # workers would be meaningless, so they are dropped.

@@ -33,6 +33,9 @@ from .server import JavaCADServer
 
 _BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
 
+DEFAULT_TCP_TIMEOUT = 5.0
+"""Socket timeout (seconds) used when no override is configured."""
+
 
 @dataclass
 class TransportStats:
@@ -304,11 +307,15 @@ class TcpTransport(Transport):
 
     def __init__(self, host: str, port: int,
                  policy: Optional[SecurityPolicy] = None,
-                 timeout: float = 5.0):
+                 timeout: Optional[float] = None):
         super().__init__()
         self.host = host
         self.port = port
         self.policy = policy
+        if timeout is None:
+            # Deferred import: wire.py imports this module at load time.
+            from .wire import WIRE_OPTIONS
+            timeout = WIRE_OPTIONS.rmi_timeout
         self.timeout = timeout
         self._socket: Optional[socket.socket] = None
         self._lock = threading.Lock()

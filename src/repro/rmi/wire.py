@@ -21,7 +21,7 @@ from typing import Iterator, Optional
 from ..cache import ResponseCache
 from .batching import DEFAULT_MAX_BATCH, BatchingTransport
 from .caching import CachePolicy, CachingTransport
-from .transport import Transport
+from .transport import DEFAULT_TCP_TIMEOUT, Transport
 
 
 class WireOptions:
@@ -33,12 +33,18 @@ class WireOptions:
         self.max_batch: int = DEFAULT_MAX_BATCH
         self.cache_entries: int = 1024
         self.cache_ttl: Optional[float] = None
+        self.rmi_timeout: float = DEFAULT_TCP_TIMEOUT
+        """Socket timeout for :class:`~repro.rmi.transport.TcpTransport`
+        instances constructed without an explicit override (the CLI's
+        ``--rmi-timeout`` flag); slow providers and CI can raise it
+        without code changes."""
 
     def configure(self, batching: Optional[bool] = None,
                   caching: Optional[bool] = None,
                   max_batch: Optional[int] = None,
                   cache_entries: Optional[int] = None,
-                  cache_ttl: Optional[float] = None) -> None:
+                  cache_ttl: Optional[float] = None,
+                  rmi_timeout: Optional[float] = None) -> None:
         """Update the defaults (None leaves a field unchanged)."""
         if batching is not None:
             self.batching = batching
@@ -50,6 +56,11 @@ class WireOptions:
             self.cache_entries = cache_entries
         if cache_ttl is not None:
             self.cache_ttl = cache_ttl
+        if rmi_timeout is not None:
+            if rmi_timeout <= 0:
+                raise ValueError(
+                    f"rmi_timeout must be positive, got {rmi_timeout}")
+            self.rmi_timeout = rmi_timeout
 
     def reset(self) -> None:
         """Back to the plain-wire defaults."""
@@ -65,19 +76,21 @@ def wire_session(batching: Optional[bool] = None,
                  caching: Optional[bool] = None,
                  max_batch: Optional[int] = None,
                  cache_entries: Optional[int] = None,
-                 cache_ttl: Optional[float] = None) -> Iterator[WireOptions]:
+                 cache_ttl: Optional[float] = None,
+                 rmi_timeout: Optional[float] = None
+                 ) -> Iterator[WireOptions]:
     """Apply wire options for a block, restoring the previous state."""
     saved = (WIRE_OPTIONS.batching, WIRE_OPTIONS.caching,
              WIRE_OPTIONS.max_batch, WIRE_OPTIONS.cache_entries,
-             WIRE_OPTIONS.cache_ttl)
+             WIRE_OPTIONS.cache_ttl, WIRE_OPTIONS.rmi_timeout)
     WIRE_OPTIONS.configure(batching, caching, max_batch, cache_entries,
-                           cache_ttl)
+                           cache_ttl, rmi_timeout)
     try:
         yield WIRE_OPTIONS
     finally:
         (WIRE_OPTIONS.batching, WIRE_OPTIONS.caching,
          WIRE_OPTIONS.max_batch, WIRE_OPTIONS.cache_entries,
-         WIRE_OPTIONS.cache_ttl) = saved
+         WIRE_OPTIONS.cache_ttl, WIRE_OPTIONS.rmi_timeout) = saved
 
 
 def wrap_transport(base: Transport,

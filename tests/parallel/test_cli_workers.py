@@ -1,0 +1,64 @@
+"""The CLI's --workers / --report-out / --rmi-timeout plumbing."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.rmi.wire import WIRE_OPTIONS
+
+
+class TestFaultsimWorkers:
+    def test_builtin_bench_accepted(self, capsys):
+        assert main(["faultsim", "c17", "--patterns", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "6 gates" in out
+        assert "coverage" in out
+
+    def test_unknown_bench_rejected(self, capsys):
+        assert main(["faultsim", "no-such-bench"]) == 2
+        assert "neither a file nor a builtin" in capsys.readouterr().err
+
+    def test_parallel_report_equals_serial_report(self, tmp_path,
+                                                  capsys):
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert main(["faultsim", "figure4", "--patterns", "16",
+                     "--workers", "1",
+                     "--report-out", str(serial_path)]) == 0
+        assert main(["faultsim", "figure4", "--patterns", "16",
+                     "--workers", "2",
+                     "--report-out", str(parallel_path)]) == 0
+        capsys.readouterr()
+        serial = json.loads(serial_path.read_text())
+        parallel = json.loads(parallel_path.read_text())
+        assert parallel["workers"] == 2
+        for key in ("total_faults", "detected", "coverage", "undetected",
+                    "coverage_history"):
+            assert parallel[key] == serial[key], key
+
+    def test_workers_line_printed_for_parallel_runs(self, capsys):
+        assert main(["faultsim", "figure4", "--patterns", "8",
+                     "--workers", "2"]) == 0
+        assert "sharded across 2 workers" in capsys.readouterr().out
+
+
+class TestAtpgWorkers:
+    def test_parallel_atpg_reaches_serial_coverage(self, capsys):
+        assert main(["atpg", "c17", "--workers", "2",
+                     "--random-patterns", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage 100.0%" in out
+
+
+class TestRmiTimeoutFlag:
+    def test_flag_sets_and_restores_wire_options(self, capsys):
+        before = WIRE_OPTIONS.rmi_timeout
+        assert main(["faultsim", "c17", "--patterns", "4",
+                     "--rmi-timeout", "9.5"]) == 0
+        capsys.readouterr()
+        assert WIRE_OPTIONS.rmi_timeout == before
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            WIRE_OPTIONS.configure(rmi_timeout=0.0)

@@ -1,0 +1,119 @@
+"""Satellite 1: serial vs sharded runs are identical, repeatably.
+
+Fault dropping removes a fault only after its own first detection, so
+detection of one fault never depends on the rest of the target list --
+a disjoint sharding of the fault list merges back to exactly the
+serial report.  These tests pin that guarantee on the paper's Figure 4
+bench and on the embedded-IP bench, twice each, so flaky ordering
+would show up as a diff.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.faultbench import (build_embedded, embedded_simulator,
+                                    figure4_flat_netlist,
+                                    figure4_simulator, ip1_block)
+from repro.core import Logic
+from repro.faults import SerialFaultSimulator, build_fault_list
+from repro.parallel import (diff_reports, parallel_fault_simulate,
+                            parallel_virtual_fault_simulate)
+
+WORKERS = 4
+
+
+def random_patterns(netlist, count, seed=0):
+    rng = random.Random(seed)
+    return [{net: Logic(rng.getrandbits(1)) for net in netlist.inputs}
+            for _ in range(count)]
+
+
+class TestFigure4Determinism:
+    def test_parallel_matches_serial_repeatedly(self):
+        netlist = figure4_flat_netlist()
+        fault_list = build_fault_list(netlist, collapse="none")
+        patterns = random_patterns(netlist, 32)
+        serial = SerialFaultSimulator(netlist, fault_list).run(patterns)
+        for _ in range(2):
+            parallel = parallel_fault_simulate(
+                netlist, patterns, fault_list=fault_list, workers=WORKERS)
+            assert diff_reports(serial, parallel) == []
+            assert parallel.detected == serial.detected
+            assert parallel.coverage == serial.coverage
+
+    def test_every_worker_count_gives_the_same_report(self):
+        netlist = figure4_flat_netlist()
+        fault_list = build_fault_list(netlist)
+        patterns = random_patterns(netlist, 16)
+        serial = SerialFaultSimulator(netlist, fault_list).run(patterns)
+        for workers in (2, 3, 4):
+            parallel = parallel_fault_simulate(
+                netlist, patterns, fault_list=fault_list, workers=workers)
+            assert diff_reports(serial, parallel) == []
+
+    def test_undetected_lists_match(self):
+        netlist = figure4_flat_netlist()
+        fault_list = build_fault_list(netlist, collapse="none")
+        patterns = random_patterns(netlist, 4, seed=9)
+        serial = SerialFaultSimulator(netlist, fault_list).run(patterns)
+        parallel = parallel_fault_simulate(
+            netlist, patterns, fault_list=fault_list, workers=WORKERS)
+        names = fault_list.names()
+        assert parallel.undetected(names) == serial.undetected(names)
+
+
+class TestEmbeddedDeterminism:
+    def test_embedded_flat_parallel_matches_serial(self):
+        experiment = build_embedded(ip1_block())
+        patterns = experiment.random_patterns(24, seed=1)
+        flat = experiment.serial.netlist
+        fault_list = experiment.serial.fault_list
+        logic_patterns = experiment.patterns_as_logic(patterns)
+        serial = SerialFaultSimulator(flat, fault_list).run(logic_patterns)
+        for _ in range(2):
+            parallel = parallel_fault_simulate(
+                flat, logic_patterns, fault_list=fault_list,
+                workers=WORKERS)
+            assert diff_reports(serial, parallel) == []
+
+    def test_embedded_virtual_parallel_matches_serial(self):
+        experiment = build_embedded(ip1_block())
+        patterns = experiment.random_patterns(10, seed=3)
+        serial = embedded_simulator().run(patterns)
+        parallel = parallel_virtual_fault_simulate(
+            embedded_simulator, patterns, workers=2)
+        assert diff_reports(serial, parallel) == []
+
+
+class TestVirtualFigure4Determinism:
+    def test_virtual_parallel_matches_serial(self):
+        netlist = figure4_flat_netlist()
+        patterns = random_patterns(netlist, 16, seed=2)
+        serial = figure4_simulator(collapse="none").run(patterns)
+        parallel = parallel_virtual_fault_simulate(
+            figure4_simulator, patterns, workers=3,
+            factory_kwargs={"collapse": "none"})
+        assert diff_reports(serial, parallel) == []
+
+    def test_restricted_runs_partition_the_full_run(self):
+        from repro.parallel import merge_reports
+
+        netlist = figure4_flat_netlist()
+        patterns = random_patterns(netlist, 8, seed=5)
+        full = figure4_simulator().run(patterns)
+        all_names = list(figure4_simulator().build_fault_list())
+        halves = (all_names[0::2], all_names[1::2])
+        partials = [figure4_simulator().run(patterns, only=half)
+                    for half in halves]
+        merged = merge_reports(partials)
+        assert diff_reports(full, merged) == []
+
+    def test_unknown_restricted_name_rejected(self):
+        netlist = figure4_flat_netlist()
+        patterns = random_patterns(netlist, 2)
+        from repro.core.errors import FaultSimulationError
+
+        simulator = figure4_simulator()
+        with pytest.raises(FaultSimulationError):
+            simulator.run(patterns, only=["IP1:nosuchfault"])

@@ -1,0 +1,103 @@
+"""Exact recombination of per-shard reports and ATPG test sets."""
+
+import random
+
+import pytest
+
+from repro.core import Logic
+from repro.core.errors import ParallelExecutionError
+from repro.faults import SerialFaultSimulator, build_fault_list
+from repro.faults.atpg import generate_test_set
+from repro.faults.serial import FaultSimReport
+from repro.gates import c17
+from repro.parallel import (diff_reports, merge_reports, merge_test_sets,
+                            round_robin_shards)
+
+
+def c17_patterns(count, seed=0):
+    netlist = c17()
+    rng = random.Random(seed)
+    return [{net: Logic(rng.getrandbits(1)) for net in netlist.inputs}
+            for _ in range(count)]
+
+
+class TestMergeReports:
+    def test_empty_merge_is_empty_report(self):
+        merged = merge_reports([])
+        assert merged.total_faults == 0
+        assert merged.detected == {}
+
+    def test_split_and_merge_equals_full_run(self):
+        netlist = c17()
+        fault_list = build_fault_list(netlist, collapse="none")
+        patterns = c17_patterns(20)
+        full = SerialFaultSimulator(netlist, fault_list).run(patterns)
+        partials = []
+        for shard in round_robin_shards(fault_list.names(), 3):
+            subset = fault_list.subset(shard.names)
+            partials.append(
+                SerialFaultSimulator(netlist, subset).run(patterns))
+        merged = merge_reports(partials)
+        assert diff_reports(full, merged) == []
+        assert merged.detected == full.detected
+        assert merged.coverage == full.coverage
+        assert merged.coverage_history() == full.coverage_history()
+
+    def test_single_report_passthrough(self):
+        netlist = c17()
+        report = SerialFaultSimulator(netlist).run(c17_patterns(4))
+        merged = merge_reports([report])
+        assert diff_reports(report, merged) == []
+
+    def test_mismatched_pattern_counts_rejected(self):
+        first = FaultSimReport(total_faults=1, per_pattern=[set()])
+        second = FaultSimReport(total_faults=1,
+                                per_pattern=[set(), set()])
+        with pytest.raises(ParallelExecutionError):
+            merge_reports([first, second])
+
+    def test_overlapping_shards_rejected(self):
+        first = FaultSimReport(total_faults=1, detected={"f": 0},
+                               per_pattern=[{"f"}])
+        second = FaultSimReport(total_faults=1, detected={"f": 0},
+                                per_pattern=[{"f"}])
+        with pytest.raises(ParallelExecutionError):
+            merge_reports([first, second])
+
+
+class TestDiffReports:
+    def test_identical_reports_have_no_diff(self):
+        netlist = c17()
+        patterns = c17_patterns(8)
+        first = SerialFaultSimulator(netlist).run(patterns)
+        second = SerialFaultSimulator(netlist).run(patterns)
+        assert diff_reports(first, second) == []
+
+    def test_differences_are_described(self):
+        first = FaultSimReport(total_faults=2, detected={"f": 0},
+                               per_pattern=[{"f"}])
+        second = FaultSimReport(total_faults=3, detected={"g": 0},
+                                per_pattern=[{"g"}])
+        problems = diff_reports(first, second)
+        assert problems
+        assert any("total_faults" in line for line in problems)
+
+
+class TestMergeTestSets:
+    def test_merged_set_covers_the_union(self):
+        netlist = c17()
+        fault_list = build_fault_list(netlist, collapse="none")
+        shards = round_robin_shards(fault_list.names(), 2)
+        partial_sets = [
+            generate_test_set(netlist, fault_list.subset(shard.names),
+                              random_patterns=8, seed=0)
+            for shard in shards]
+        merged = merge_test_sets(partial_sets)
+        assert len(merged.patterns) == sum(len(ts.patterns)
+                                           for ts in partial_sets)
+        assert set(merged.detected) == set(partial_sets[0].detected) \
+            | set(partial_sets[1].detected)
+        # Detection indices are rebased into the concatenated pattern
+        # list, so every recorded index must be addressable.
+        for index in merged.detected.values():
+            assert 0 <= index < len(merged.patterns)

@@ -1,0 +1,95 @@
+"""WorkerPool ordering, failure propagation and telemetry round-trip."""
+
+import pytest
+
+from repro.core.errors import ParallelExecutionError
+from repro.parallel import TaskOutcome, WorkerPool, resolve_workers
+from repro.telemetry import TELEMETRY
+
+
+def _square(value):
+    return value * value
+
+
+def _fail_on_three(value):
+    if value == 3:
+        raise ValueError("task three exploded")
+    return value
+
+
+def _count_in_worker(value):
+    TELEMETRY.metrics.counter("worker.side.effects").inc(value)
+    return value
+
+
+class TestResolveWorkers:
+    def test_zero_and_none_mean_auto(self):
+        assert resolve_workers(0) >= 1
+        assert resolve_workers(None) >= 1
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParallelExecutionError):
+            resolve_workers(-1)
+
+
+class TestWorkerPoolMap:
+    def test_results_in_submission_order(self):
+        outcomes = WorkerPool(2).map(_square, [5, 4, 3, 2, 1])
+        assert [outcome.value for outcome in outcomes] == [25, 16, 9, 4, 1]
+        assert [outcome.index for outcome in outcomes] == [0, 1, 2, 3, 4]
+
+    def test_empty_payloads(self):
+        assert WorkerPool(2).map(_square, []) == []
+
+    def test_single_payload_runs_inline(self):
+        import os
+
+        outcomes = WorkerPool(4).map(_square, [7])
+        assert outcomes[0].value == 49
+        assert outcomes[0].worker_pid == os.getpid()
+
+    def test_workers_one_runs_inline(self):
+        import os
+
+        outcomes = WorkerPool(1).map(_square, [2, 3])
+        assert [outcome.value for outcome in outcomes] == [4, 9]
+        assert all(outcome.worker_pid == os.getpid()
+                   for outcome in outcomes)
+
+    def test_failure_raises_with_cause(self):
+        with pytest.raises(ParallelExecutionError) as info:
+            WorkerPool(2).map(_fail_on_three, [1, 2, 3, 4])
+        assert "task" in str(info.value)
+
+    def test_outcomes_are_task_outcomes(self):
+        outcomes = WorkerPool(2).map(_square, [1, 2])
+        assert all(isinstance(outcome, TaskOutcome)
+                   for outcome in outcomes)
+        assert all(outcome.wall_seconds >= 0.0 for outcome in outcomes)
+
+
+class TestTelemetryAggregation:
+    def test_worker_metrics_fold_into_parent(self):
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+        try:
+            WorkerPool(2).map(_count_in_worker, [1, 2, 3, 4])
+            snapshot = TELEMETRY.metrics.snapshot()
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+        assert snapshot["parallel.tasks"]["value"] == 4
+        assert snapshot["parallel.workers"]["value"] == 2
+        assert snapshot["parallel.task_wall_seconds"]["count"] == 4
+        assert snapshot["parallel.pool_wall_seconds"]["value"] > 0.0
+        # Worker-side counters come back summed across all workers.
+        assert snapshot["parallel.worker.worker.side.effects"]["value"] \
+            == 1 + 2 + 3 + 4
+
+    def test_no_telemetry_no_parallel_metrics(self):
+        TELEMETRY.reset()
+        WorkerPool(2).map(_square, [1, 2, 3])
+        assert "parallel.tasks" not in TELEMETRY.metrics.snapshot()

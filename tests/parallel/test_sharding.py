@@ -1,0 +1,95 @@
+"""Deterministic fault-list partitioning (round-robin and weighted)."""
+
+import pytest
+
+from repro.core.errors import ParallelExecutionError
+from repro.faults import build_fault_list
+from repro.gates import c17
+from repro.parallel import (default_shard_count, round_robin_shards,
+                            shard_fault_list, weighted_shards)
+
+NAMES = [f"f{i}" for i in range(10)]
+
+
+class TestDefaultShardCount:
+    def test_cuts_several_shards_per_worker(self):
+        assert default_shard_count(4, 1000) == 16
+
+    def test_never_exceeds_item_count(self):
+        assert default_shard_count(4, 3) == 3
+
+    def test_empty_work_means_zero_shards(self):
+        assert default_shard_count(4, 0) == 0
+
+    def test_at_least_one_shard_for_any_work(self):
+        assert default_shard_count(0, 5) == 1
+
+
+class TestRoundRobinShards:
+    def test_partitions_without_loss_or_overlap(self):
+        shards = round_robin_shards(NAMES, 3)
+        everything = [name for shard in shards for name in shard.names]
+        assert sorted(everything) == sorted(NAMES)
+        assert len(set(everything)) == len(NAMES)
+
+    def test_balanced_within_one_item(self):
+        sizes = [len(shard) for shard in round_robin_shards(NAMES, 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_stable_across_calls(self):
+        assert round_robin_shards(NAMES, 3) == round_robin_shards(NAMES, 3)
+
+    def test_clamps_count_to_item_count(self):
+        shards = round_robin_shards(["a", "b"], 5)
+        assert len(shards) == 2
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ParallelExecutionError):
+            round_robin_shards(NAMES, 0)
+
+
+class TestWeightedShards:
+    def test_partitions_without_loss_or_overlap(self):
+        shards = weighted_shards(NAMES, 3, lambda name: 1.0)
+        everything = [name for shard in shards for name in shard.names]
+        assert sorted(everything) == sorted(NAMES)
+
+    def test_balances_skewed_weights(self):
+        # One heavy item (weight 9) plus nine light ones: LPT puts the
+        # heavy item alone-ish and spreads the rest.
+        weights = {name: (9.0 if name == "f0" else 1.0) for name in NAMES}
+        shards = weighted_shards(NAMES, 3, weights.__getitem__)
+        loads = [sum(weights[name] for name in shard.names)
+                 for shard in shards]
+        assert max(loads) - min(loads) <= 5.0
+        assert max(loads) < sum(weights.values())
+
+    def test_preserves_original_order_within_a_shard(self):
+        shards = weighted_shards(NAMES, 3, lambda name: 1.0)
+        for shard in shards:
+            indices = [NAMES.index(name) for name in shard.names]
+            assert indices == sorted(indices)
+
+    def test_deterministic(self):
+        first = weighted_shards(NAMES, 4, lambda name: float(len(name)))
+        second = weighted_shards(NAMES, 4, lambda name: float(len(name)))
+        assert first == second
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ParallelExecutionError):
+            weighted_shards(NAMES, 2, lambda name: -1.0)
+
+
+class TestShardFaultList:
+    def test_covers_every_fault_exactly_once(self):
+        fault_list = build_fault_list(c17())
+        shards = shard_fault_list(fault_list, 4)
+        everything = [name for shard in shards for name in shard.names]
+        assert sorted(everything) == sorted(fault_list.names())
+
+    def test_subsets_reconstruct_the_fault_list(self):
+        fault_list = build_fault_list(c17())
+        shards = shard_fault_list(fault_list, 3)
+        total = sum(len(fault_list.subset(shard.names))
+                    for shard in shards)
+        assert total == len(fault_list)
