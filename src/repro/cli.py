@@ -143,8 +143,17 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
     patterns = [{net: Logic(rng.getrandbits(1))
                  for net in netlist.inputs}
                 for _ in range(args.patterns)]
+    remotes = getattr(args, "remote", None) or []
     workers = resolve_workers(getattr(args, "workers", 0) or None)
-    if workers > 1 and len(fault_list) > 1:
+    if remotes and len(fault_list) > 1:
+        from .parallel.remote import remote_fault_simulate
+
+        report = remote_fault_simulate(
+            args.netlist, patterns, remotes, collapse=args.collapse,
+            netlist=netlist, fault_list=fault_list,
+            workers=getattr(args, "workers", 0) or None)
+        workers = len(remotes)
+    elif workers > 1 and len(fault_list) > 1:
         report = parallel_fault_simulate(netlist, patterns,
                                          fault_list=fault_list,
                                          workers=workers)
@@ -154,7 +163,10 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
     print(f"{args.netlist}: {netlist.gate_count()} gates, "
           f"{len(netlist.inputs)} inputs, {len(netlist.outputs)} outputs")
     print(f"fault list ({args.collapse}): {len(fault_list)} faults")
-    if workers > 1:
+    if remotes:
+        print(f"farmed across {len(remotes)} remote endpoint(s): "
+              f"{', '.join(remotes)}")
+    elif workers > 1:
         print(f"sharded across {workers} workers")
     print(f"{args.patterns} random patterns -> "
           f"{report.detected_count}/{report.total_faults} detected "
@@ -181,6 +193,33 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"report written to {args.report_out}")
+    return 0
+
+
+def _cmd_faultworker(args: argparse.Namespace) -> int:
+    """Serve fault-simulation shards to remote `faultsim --remote` runs."""
+    import threading
+    import time as _time
+
+    from .parallel.remote import register_fault_farm
+    from .rmi.server import JavaCADServer
+
+    server = JavaCADServer(f"faultfarm@{args.host}:{args.port}")
+    register_fault_farm(server)
+    host, port = server.serve_tcp(args.host, args.port)
+    # The exact line CI and scripts wait for before dispatching work.
+    print(f"fault farm worker serving on {host}:{port}", flush=True)
+    try:
+        if args.serve_seconds is not None:
+            threading.Event().wait(args.serve_seconds)
+        else:
+            while True:
+                _time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop_tcp()
+        print("fault farm worker stopped", flush=True)
     return 0
 
 
@@ -402,11 +441,30 @@ def build_parser() -> argparse.ArgumentParser:
                           help="plot incremental coverage")
     faultsim.add_argument("--workers", type=int, default=0, metavar="N",
                           help="shard the fault list across N worker "
-                               "processes (0 = one per CPU core)")
+                               "processes (0 = one per CPU core); with "
+                               "--remote, scales the shard count instead")
+    faultsim.add_argument("--remote", metavar="HOST:PORT",
+                          action="append", default=None,
+                          help="farm shards out to a remote fault-farm "
+                               "worker (repeatable; start workers with "
+                               "the faultworker subcommand)")
     faultsim.add_argument("--report-out", metavar="FILE", default=None,
                           help="write the full report (detected map, "
                                "coverage, undetected) as JSON to FILE")
     faultsim.set_defaults(fn=_cmd_faultsim)
+
+    faultworker = subparsers.add_parser(
+        "faultworker", help="serve fault-simulation shards to remote "
+                            "faultsim --remote clients")
+    faultworker.add_argument("--host", default="127.0.0.1")
+    faultworker.add_argument("--port", type=int, default=0,
+                             help="TCP port to listen on (0 = pick a "
+                                  "free port and print it)")
+    faultworker.add_argument("--serve-seconds", type=float, default=None,
+                             metavar="S",
+                             help="exit after S seconds (default: serve "
+                                  "until interrupted)")
+    faultworker.set_defaults(fn=_cmd_faultworker)
 
     atpg = subparsers.add_parser(
         "atpg", help="generate a stuck-at test set for a .bench netlist")
@@ -450,10 +508,30 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _check_output_paths(parser: argparse.ArgumentParser,
+                        args: argparse.Namespace) -> None:
+    """Reject unwritable output destinations before any work runs.
+
+    A --report-out (or trace/metrics) path whose directory does not
+    exist used to surface only *after* a potentially long run, throwing
+    the completed results away; every output flag is validated up
+    front instead.
+    """
+    for attribute in ("trace_out", "metrics_out", "report_out"):
+        path = getattr(args, attribute, None)
+        if not path:
+            continue
+        parent = os.path.dirname(os.path.abspath(path))
+        if not os.path.isdir(parent):
+            option = "--" + attribute.replace("_", "-")
+            parser.error(f"{option}: directory {parent!r} does not exist")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _check_output_paths(parser, args)
     trace_out = getattr(args, "trace_out", None)
     metrics_out = getattr(args, "metrics_out", None)
     from contextlib import ExitStack

@@ -66,7 +66,16 @@ class FaultSimulationError(ReproError):
 
 
 class ParallelExecutionError(ReproError):
-    """A sharded multi-worker run failed (bad worker count, task error)."""
+    """A sharded multi-worker run failed (bad worker count, task error).
+
+    When the failure is attributable to one shard, ``shard_index`` is
+    its submission index, so campaign drivers can report *which* slice
+    of the fault list poisoned the run.
+    """
+
+    def __init__(self, message: str, shard_index=None):
+        super().__init__(message)
+        self.shard_index = shard_index
 
 
 class IPProtectionError(ReproError):

@@ -38,7 +38,7 @@ from ..rmi.security import SecurityPolicy, default_policy_for
 from ..rmi.server import JavaCADServer
 from ..rmi.stub import RemoteStub
 from ..rmi.transport import InProcessTransport
-from ..rmi.wire import wrap_transport
+from ..rmi.wire import WIRE_OPTIONS, wrap_transport
 from .buffering import BufferedRemoteEstimation
 from .provider import (FunctionalServant, IPProvider, PowerServant,
                        TimingServant)
@@ -85,13 +85,20 @@ class ProviderConnection:
                                                  clock=self.clock,
                                                  cost_model=self.cost,
                                                  policy=self.policy)
-        self.transport = wrap_transport(self.base_transport,
-                                        batching=batching,
-                                        caching=caching,
-                                        max_batch=max_batch,
-                                        cache=cache)
+        # The cache's TTL clock follows the session: entries age with
+        # the *virtual* wall clock driving this connection, not the
+        # host's monotonic clock, so a slow real-time run can never
+        # expire entries mid-run and break byte-identical repro runs.
+        self.transport = wrap_transport(
+            self.base_transport, batching=batching, caching=caching,
+            max_batch=max_batch, cache=cache,
+            cache_time_fn=WIRE_OPTIONS.cache_time_fn or self._cache_clock)
         self._catalog = RemoteStub(self.transport, "catalog",
                                    ("list_components", "describe"))
+
+    def _cache_clock(self) -> float:
+        """TTL time source for this session's response cache."""
+        return self.clock.wall
 
     @property
     def round_trips(self) -> int:

@@ -14,7 +14,9 @@ property into wall-clock speedup on multi-core hosts:
 * :mod:`~repro.parallel.faultsim` / :mod:`~repro.parallel.virtualsim`
   -- sharded serial and virtual fault simulation;
 * :mod:`~repro.parallel.scenarios` -- concurrent independent
-  estimation/bench scenarios (Table 2 fan-out).
+  estimation/bench scenarios (Table 2 fan-out);
+* :mod:`~repro.parallel.remote` -- the multi-host fault farm: the same
+  shards shipped to remote workers over RMI BATCH frames.
 
 See ``docs/parallel.md`` for the sharding model and the determinism
 guarantees (and their limits).
@@ -23,6 +25,8 @@ guarantees (and their limits).
 from .faultsim import parallel_fault_simulate, parallel_generate_test_set
 from .merge import diff_reports, merge_reports, merge_test_sets
 from .pool import TaskOutcome, WorkerPool, resolve_workers
+from .remote import (FaultFarmServant, RemoteShard, RemoteWorkerPool,
+                     register_fault_farm, remote_fault_simulate)
 from .scenarios import (ScenarioSpec, reset_session_state,
                         run_scenarios_parallel, run_table2_parallel,
                         table2_specs)
@@ -31,10 +35,12 @@ from .sharding import (Shard, default_shard_count, round_robin_shards,
 from .virtualsim import block_gate_weights, parallel_virtual_fault_simulate
 
 __all__ = [
+    "FaultFarmServant", "RemoteShard", "RemoteWorkerPool",
     "ScenarioSpec", "Shard", "TaskOutcome", "WorkerPool",
     "block_gate_weights", "default_shard_count", "diff_reports",
     "merge_reports", "merge_test_sets", "parallel_fault_simulate",
     "parallel_generate_test_set", "parallel_virtual_fault_simulate",
+    "register_fault_farm", "remote_fault_simulate",
     "reset_session_state", "resolve_workers", "round_robin_shards",
     "run_scenarios_parallel",
     "run_table2_parallel", "shard_fault_list", "shard_names",

@@ -136,13 +136,14 @@ class WorkerPool:
                        payloads: Sequence[Any], effective: int,
                        collect: bool) -> List[TaskOutcome]:
         outcomes: List[Optional[TaskOutcome]] = [None] * len(payloads)
-        with ProcessPoolExecutor(max_workers=effective) as executor:
+        executor = ProcessPoolExecutor(max_workers=effective)
+        pending: set = set()
+        try:
             futures = {
                 executor.submit(_execute_task, fn, payload, collect): index
                 for index, payload in enumerate(payloads)}
             pending = set(futures)
-            failure: Optional[ParallelExecutionError] = None
-            while pending and failure is None:
+            while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     index = futures[future]
@@ -153,15 +154,24 @@ class WorkerPool:
                             TELEMETRY.metrics.counter(
                                 "parallel.failures").inc()
                         failure = ParallelExecutionError(
-                            f"worker task {index} failed: {exc}")
+                            f"worker task {index} failed: {exc}",
+                            shard_index=index)
                         failure.__cause__ = exc
-                        break
+                        raise failure
                     outcomes[index] = TaskOutcome(index, value, wall, pid,
                                                   snapshot)
-            if failure is not None:
-                for future in pending:
-                    future.cancel()
-                raise failure
+        except BaseException:
+            # First failure aborts the run: cancel what never started
+            # and shut down WITHOUT waiting, so a hung sibling worker
+            # cannot block the error from reaching the caller.
+            for future in pending:
+                future.cancel()
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except TypeError:  # pragma: no cover - Python < 3.9
+                executor.shutdown(wait=False)
+            raise
+        executor.shutdown(wait=True)
         return [outcome for outcome in outcomes if outcome is not None]
 
     # ------------------------------------------------------------------

@@ -1,0 +1,619 @@
+"""Remote fault farm: shipping fault-list shards over RMI BATCH.
+
+This is the multi-host half of the paper's concurrency story: the
+local :class:`~repro.parallel.pool.WorkerPool` fans shards out to
+*processes*; :class:`RemoteWorkerPool` fans the same shards out to
+*machines*, over the same protected RMI channel the simulation traffic
+already uses.  The contract is identical -- disjoint shards in,
+submission-order :class:`~repro.parallel.pool.TaskOutcome`s out,
+`merge_reports`-exact recombination -- so serial, local-parallel and
+remote-farm runs of one campaign produce byte-identical reports.
+
+The wire shape is built around BATCH frames, not per-call round trips:
+
+* ``begin_shard`` (oneway) names the bench, the collapse mode and the
+  shard's fault subset;
+* ``add_patterns`` (oneway, chunked) streams the pattern set;
+* ``collect_report`` (blocking) runs the simulation and answers with
+  the marshalled report plus the worker's telemetry snapshot.
+
+All three are issued through a :class:`~repro.rmi.batching.
+BatchingTransport`, so the oneways queue client-side and the blocking
+collect coalesces the whole shard into one
+:class:`~repro.rmi.protocol.BatchRequest` -- one round trip per shard
+(plus auto-flushes for very large pattern sets).
+
+Only marshallable values cross the wire: bench *names*, fault *names*,
+pattern dicts of :class:`~repro.core.signal.Logic`.  Netlists never
+travel (the marshaller rejects them by design); each worker rebuilds
+the bench from its name, which is deterministic, so client and farm
+agree on fault names and simulation semantics.
+
+Endpoint failure is handled with the same ``excluded`` bookkeeping the
+local pool's docs describe for poison shards: a shard that fails on an
+endpoint never returns to that endpoint.  If the endpoint is dead
+(``ping`` refused) the shard is retried on a survivor; if the endpoint
+is alive the failure is the shard's own, and once every live endpoint
+has rejected it the run fails fast with a
+:class:`~repro.core.errors.ParallelExecutionError` carrying the
+shard's index.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import (Any, Dict, Iterable, List, Mapping, Optional, Sequence,
+                    Set, Tuple, Union)
+
+from ..core.errors import ParallelExecutionError
+from ..faults.faultlist import FaultList, build_fault_list
+from ..faults.serial import FaultSimReport, SerialFaultSimulator
+from ..gates.netlist import Netlist
+from ..rmi.server import JavaCADServer
+from ..rmi.stub import RemoteStub
+from ..rmi.transport import TcpTransport, Transport
+from ..rmi.wire import WIRE_OPTIONS, wrap_transport
+from ..telemetry.runtime import TELEMETRY
+from .merge import merge_reports
+from .pool import TaskOutcome, _TASK_WALL_BUCKETS
+from .scenarios import reset_session_state
+from .sharding import default_shard_count, shard_fault_list
+
+FAULT_FARM_OBJECT = "faultfarm"
+"""The server-side name a fault-farm servant is bound under."""
+
+DEFAULT_PATTERNS_PER_CALL = 32
+"""Patterns per ``add_patterns`` oneway (BATCH frame-size bound)."""
+
+_pool_nonces = itertools.count(1)
+
+
+# ----------------------------------------------------------------------
+# Wire form of a FaultSimReport
+# ----------------------------------------------------------------------
+
+def report_to_wire(report: FaultSimReport) -> Dict[str, Any]:
+    """A report as a plain marshallable dict (no custom classes)."""
+    return {
+        "total_faults": report.total_faults,
+        "detected": dict(report.detected),
+        "per_pattern": [set(newly) for newly in report.per_pattern],
+    }
+
+
+def report_from_wire(wire: Mapping[str, Any]) -> FaultSimReport:
+    """Rebuild a report from its wire dict.
+
+    The marshaller decodes ``set`` tags as frozensets; the per-pattern
+    entries are rebuilt as plain sets so the result is structurally
+    identical to a locally produced report.
+    """
+    report = FaultSimReport(total_faults=int(wire["total_faults"]))
+    report.detected.update({str(name): int(index)
+                            for name, index in wire["detected"].items()})
+    report.per_pattern.extend(set(newly) for newly in wire["per_pattern"])
+    return report
+
+
+# ----------------------------------------------------------------------
+# Server side
+# ----------------------------------------------------------------------
+
+def resolve_bench(spec: str) -> Netlist:
+    """Build the netlist a bench spec names (builtin name or file).
+
+    This mirrors the CLI's netlist loader so a farm worker started with
+    no arguments can serve any bench the client can name; both sides
+    build the same netlist from the same spec, which is what makes the
+    fault names agree.
+    """
+    import os
+    if os.path.exists(spec):
+        from ..gates.io import read_bench
+        with open(spec) as handle:
+            return read_bench(handle.read(), name=spec)
+    if spec == "c17":
+        from ..gates.io import c17
+        return c17()
+    if spec == "figure4":
+        from ..bench.faultbench import figure4_flat_netlist
+        return figure4_flat_netlist()
+    if spec == "chatty":
+        from ..bench.faultbench import chatty_fault_bench
+        return chatty_fault_bench()
+    raise ParallelExecutionError(
+        f"unknown bench {spec!r}: neither a file on this worker nor a "
+        f"builtin bench")
+
+
+class FaultFarmServant:
+    """Provider-side worker: assembles shards, simulates, replies.
+
+    A shard arrives in pieces -- ``begin_shard`` then any number of
+    ``add_patterns`` (both oneway, so they ride in the same BATCH frame
+    as the final call) -- and ``collect_report`` runs it.  Shards are
+    keyed by a client-chosen task id, so one servant can serve several
+    farms at once without mixing their state.
+
+    Built netlists and fault lists are cached per (bench, collapse):
+    every shard of one campaign names the same bench, and rebuilding it
+    per shard would dominate small campaigns.
+    """
+
+    REMOTE_METHODS = ("ping", "begin_shard", "add_patterns",
+                      "collect_report")
+
+    def __init__(self, resolver=None, isolate: bool = True):
+        self.resolver = resolver or resolve_bench
+        self.isolate = isolate
+        self.shards_served = 0
+        self._lock = threading.Lock()
+        self._built: Dict[Tuple[str, str], Tuple[Netlist, FaultList]] = {}
+        self._shards: Dict[str, Dict[str, Any]] = {}
+
+    def ping(self) -> str:
+        """Liveness probe the client pool uses to triage failures."""
+        return "pong"
+
+    def begin_shard(self, task_id: str, bench: str, collapse: str,
+                    fault_names: Sequence[str],
+                    drop_detected: bool = True) -> bool:
+        with self._lock:
+            self._shards[task_id] = {
+                "bench": str(bench),
+                "collapse": str(collapse),
+                "fault_names": tuple(fault_names),
+                "drop_detected": bool(drop_detected),
+                "patterns": [],
+            }
+        return True
+
+    def add_patterns(self, task_id: str,
+                     patterns: Sequence[Mapping[str, Any]]) -> bool:
+        with self._lock:
+            shard = self._shards.get(task_id)
+            if shard is None:
+                raise ParallelExecutionError(
+                    f"add_patterns for unknown shard task {task_id!r}")
+            shard["patterns"].extend(dict(pattern) for pattern in patterns)
+        return True
+
+    def collect_report(self, task_id: str,
+                       collect_telemetry: bool = False) -> Dict[str, Any]:
+        """Run the assembled shard and return report + telemetry."""
+        with self._lock:
+            shard = self._shards.pop(task_id, None)
+        if shard is None:
+            raise ParallelExecutionError(
+                f"collect_report for unknown shard task {task_id!r} "
+                f"(begin_shard missing or already collected)")
+        if self.isolate:
+            # Same trick as repro.parallel.scenarios: reset the
+            # process-wide id counters so every shard runs as if in a
+            # fresh process, keeping repeated farm runs byte-identical.
+            reset_session_state()
+        if collect_telemetry:
+            TELEMETRY.reset()
+            TELEMETRY.enable()
+        try:
+            netlist, fault_list = self._built_for(shard["bench"],
+                                                  shard["collapse"])
+            shard_list = fault_list.subset(shard["fault_names"])
+            simulator = SerialFaultSimulator(netlist, shard_list)
+            report = simulator.run(shard["patterns"],
+                                   drop_detected=shard["drop_detected"])
+        finally:
+            if collect_telemetry:
+                TELEMETRY.disable()
+        snapshot = TELEMETRY.metrics.snapshot() if collect_telemetry else {}
+        with self._lock:
+            self.shards_served += 1
+        return {"report": report_to_wire(report), "metrics": snapshot}
+
+    def _built_for(self, bench: str,
+                   collapse: str) -> Tuple[Netlist, FaultList]:
+        with self._lock:
+            built = self._built.get((bench, collapse))
+        if built is None:
+            netlist = self.resolver(bench)
+            built = (netlist, build_fault_list(netlist, collapse=collapse))
+            with self._lock:
+                self._built[(bench, collapse)] = built
+        return built
+
+
+def register_fault_farm(server: JavaCADServer, resolver=None,
+                        isolate: bool = True,
+                        name: str = FAULT_FARM_OBJECT) -> FaultFarmServant:
+    """Bind a fresh fault-farm servant on ``server`` and return it."""
+    servant = FaultFarmServant(resolver=resolver, isolate=isolate)
+    server.rebind(name, servant, FaultFarmServant.REMOTE_METHODS)
+    return servant
+
+
+# ----------------------------------------------------------------------
+# Client side
+# ----------------------------------------------------------------------
+
+EndpointSpec = Union[str, Tuple[str, int]]
+
+
+def parse_endpoint(spec: EndpointSpec) -> Tuple[str, int]:
+    """Normalize an endpoint spec to ``(host, port)``."""
+    if isinstance(spec, (tuple, list)) and len(spec) == 2:
+        host, port = spec
+        return str(host), int(port)
+    text = str(spec)
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ParallelExecutionError(
+            f"remote endpoint {text!r} is not of the form HOST:PORT")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ParallelExecutionError(
+            f"remote endpoint {text!r} has a non-numeric port") from None
+    return host, port
+
+
+@dataclass(frozen=True)
+class RemoteShard:
+    """One shard's worth of remote work, fully marshallable."""
+
+    bench: str
+    collapse: str
+    fault_names: Tuple[str, ...]
+    patterns: Tuple[Mapping[str, Any], ...]
+    drop_detected: bool = True
+
+
+class _Endpoint:
+    """One remote worker: its transport stack and farm stub.
+
+    The stack pins the wire options the farm depends on: BATCH on (the
+    whole point -- a shard travels as one frame) and cache *off* (a
+    fault report is a function of servant state assembled by earlier
+    oneways, not a pure call; replaying a cached reply for a different
+    shard would be wrong).
+    """
+
+    def __init__(self, index: int, host: str, port: int,
+                 max_batch: Optional[int], timeout: Optional[float]):
+        self.index = index
+        self.host = host
+        self.port = port
+        self.base = TcpTransport(
+            host, port,
+            timeout=timeout if timeout is not None
+            else WIRE_OPTIONS.rmi_timeout)
+        self.transport: Transport = wrap_transport(
+            self.base, batching=True, caching=False,
+            max_batch=max_batch or WIRE_OPTIONS.max_batch)
+        self.stub = RemoteStub(self.transport, FAULT_FARM_OBJECT,
+                               FaultFarmServant.REMOTE_METHODS)
+        self.alive = True
+
+    def probe(self) -> bool:
+        """Can the worker still answer at all?"""
+        try:
+            return self.stub.ping() == "pong"
+        except Exception:
+            return False
+
+    def close(self) -> None:
+        try:
+            self.transport.close()
+        except Exception:  # pragma: no cover - close is best effort
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"_Endpoint({self.index}, {self.host}:{self.port})"
+
+
+class _RunState:
+    """Shared bookkeeping for one ``RemoteWorkerPool.map`` run.
+
+    ``excluded[i]`` is the set of endpoint indices shard ``i`` has
+    already failed on; a shard is only handed to endpoints outside its
+    excluded set.  ``take`` blocks while other endpoints still have
+    shards in flight, because a dying sibling may requeue work that
+    this endpoint can pick up.
+    """
+
+    def __init__(self, shards: Sequence[RemoteShard],
+                 endpoint_count: int):
+        self.shards = list(shards)
+        self.outcomes: List[Optional[TaskOutcome]] = [None] * len(shards)
+        self.excluded: List[Set[int]] = [set() for _ in shards]
+        self.failure: Optional[ParallelExecutionError] = None
+        self.live: Set[int] = set(range(endpoint_count))
+        self.retries = 0
+        self.endpoint_failures = 0
+        self._pending: List[int] = list(range(len(shards)))
+        self._inflight = 0
+        self._cond = threading.Condition()
+
+    def take(self, endpoint_index: int) -> Optional[int]:
+        with self._cond:
+            while True:
+                if self.failure is not None:
+                    return None
+                if endpoint_index not in self.live:
+                    return None
+                eligible = next(
+                    (index for index in self._pending
+                     if endpoint_index not in self.excluded[index]), None)
+                if eligible is not None:
+                    self._pending.remove(eligible)
+                    self._inflight += 1
+                    return eligible
+                if not self._pending and not self._inflight:
+                    return None
+                if not self._inflight:
+                    # Every pending shard has already failed here and
+                    # nothing in flight can requeue new work for us.
+                    return None
+                self._cond.wait(timeout=0.05)
+
+    def complete(self, index: int, outcome: TaskOutcome) -> None:
+        with self._cond:
+            self.outcomes[index] = outcome
+            self._inflight -= 1
+            self._cond.notify_all()
+
+    def shard_failed(self, index: int, endpoint_index: int,
+                     endpoint_alive: bool,
+                     cause: Exception) -> None:
+        """Triage one failed shard attempt and decide its future."""
+        with self._cond:
+            self._inflight -= 1
+            self.excluded[index].add(endpoint_index)
+            if not endpoint_alive:
+                self.live.discard(endpoint_index)
+                self.endpoint_failures += 1
+            if not self.live:
+                self._fail_locked(ParallelExecutionError(
+                    f"all remote endpoints died with shard {index} (and "
+                    f"{len(self._pending)} more) unfinished: {cause}",
+                    shard_index=index), cause)
+            elif not (self.live - self.excluded[index]):
+                # Poison shard: every endpoint still standing has
+                # already rejected it -- fail fast instead of cycling.
+                self._fail_locked(ParallelExecutionError(
+                    f"shard {index} failed on every remaining endpoint: "
+                    f"{cause}", shard_index=index), cause)
+            else:
+                self._pending.append(index)
+                if endpoint_alive:
+                    self.retries += 1
+            self._cond.notify_all()
+
+    def fail(self, failure: ParallelExecutionError,
+             cause: Optional[Exception] = None) -> None:
+        with self._cond:
+            self._fail_locked(failure, cause)
+            self._cond.notify_all()
+
+    def _fail_locked(self, failure: ParallelExecutionError,
+                     cause: Optional[Exception]) -> None:
+        if self.failure is None:
+            if cause is not None:
+                failure.__cause__ = cause
+            self.failure = failure
+
+    def unfinished(self) -> List[int]:
+        return [index for index, outcome in enumerate(self.outcomes)
+                if outcome is None]
+
+
+class RemoteWorkerPool:
+    """Ordered fan-out of fault-sim shards over remote farm workers.
+
+    Satisfies the local pool's contract -- disjoint shards in,
+    submission-order outcomes out -- but each shard crosses the wire as
+    one BATCH frame to a :class:`FaultFarmServant` instead of being
+    pickled into a subprocess.  ``TaskOutcome.worker_pid`` carries the
+    *endpoint index* that served the shard (there is no meaningful
+    remote pid on this side of the wire).
+
+    One transport stack (socket + batching layer) is opened per
+    endpoint and one client thread drives it; shards are pulled from a
+    shared queue, so a fast endpoint steals a slow one's backlog
+    exactly like local workers steal shards.
+    """
+
+    def __init__(self, endpoints: Sequence[EndpointSpec],
+                 max_batch: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 patterns_per_call: int = DEFAULT_PATTERNS_PER_CALL):
+        specs = [parse_endpoint(spec) for spec in endpoints]
+        if not specs:
+            raise ParallelExecutionError(
+                "a remote pool needs at least one endpoint")
+        if patterns_per_call < 1:
+            raise ParallelExecutionError(
+                f"patterns_per_call must be >= 1, got {patterns_per_call}")
+        self.endpoints = specs
+        self.max_batch = max_batch
+        self.timeout = timeout
+        self.patterns_per_call = patterns_per_call
+
+    @property
+    def workers(self) -> int:
+        """Endpoint count (the local pool's ``workers`` analogue)."""
+        return len(self.endpoints)
+
+    def map(self, shards: Sequence[RemoteShard]) -> List[TaskOutcome]:
+        """Run every shard remotely; outcomes in submission order."""
+        shards = list(shards)
+        if not shards:
+            return []
+        collect = TELEMETRY.enabled
+        pool_begin = time.perf_counter()
+        nonce = next(_pool_nonces)
+        endpoints = [
+            _Endpoint(index, host, port, self.max_batch, self.timeout)
+            for index, (host, port) in enumerate(self.endpoints)]
+        state = _RunState(shards, len(endpoints))
+        threads = [
+            threading.Thread(
+                target=self._serve_endpoint,
+                args=(endpoint, state, nonce, collect),
+                name=f"remote-farm-{endpoint.host}:{endpoint.port}",
+                daemon=True)
+            for endpoint in endpoints]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            for endpoint in endpoints:
+                endpoint.close()
+        if state.failure is not None:
+            raise state.failure
+        unfinished = state.unfinished()
+        if unfinished:
+            raise ParallelExecutionError(
+                f"remote farm finished with shards {unfinished} unserved "
+                f"(no endpoint would accept them)",
+                shard_index=unfinished[0])
+        outcomes = [outcome for outcome in state.outcomes
+                    if outcome is not None]
+        if collect:
+            self._account(outcomes, endpoints, state,
+                          time.perf_counter() - pool_begin)
+        return outcomes
+
+    # ------------------------------------------------------------------
+
+    def _serve_endpoint(self, endpoint: _Endpoint, state: _RunState,
+                        nonce: int, collect: bool) -> None:
+        while True:
+            index = state.take(endpoint.index)
+            if index is None:
+                return
+            shard = state.shards[index]
+            begin = time.perf_counter()
+            try:
+                report, metrics = self._run_shard(endpoint, shard,
+                                                  f"farm{nonce}.{index}",
+                                                  collect)
+            except Exception as exc:
+                alive = endpoint.probe()
+                endpoint.alive = alive
+                state.shard_failed(index, endpoint.index, alive, exc)
+                if not alive:
+                    return
+                continue
+            state.complete(index, TaskOutcome(
+                index, report, time.perf_counter() - begin,
+                endpoint.index, metrics))
+
+    def _run_shard(self, endpoint: _Endpoint, shard: RemoteShard,
+                   task_id: str, collect: bool
+                   ) -> Tuple[FaultSimReport, Dict[str, Any]]:
+        stub = endpoint.stub
+        stub.invoke_oneway("begin_shard", task_id, shard.bench,
+                           shard.collapse, list(shard.fault_names),
+                           shard.drop_detected)
+        patterns = list(shard.patterns)
+        step = self.patterns_per_call
+        for start in range(0, len(patterns), step):
+            stub.invoke_oneway("add_patterns", task_id,
+                               [dict(pattern)
+                                for pattern in patterns[start:start + step]])
+        payload = stub.collect_report(task_id, collect)
+        return report_from_wire(payload["report"]), dict(
+            payload.get("metrics") or {})
+
+    # ------------------------------------------------------------------
+
+    def _account(self, outcomes: Sequence[TaskOutcome],
+                 endpoints: Sequence[_Endpoint], state: _RunState,
+                 pool_wall: float) -> None:
+        metrics = TELEMETRY.metrics
+        metrics.gauge("parallel.remote.endpoints").set(len(endpoints))
+        metrics.counter("parallel.remote.shards").inc(len(outcomes))
+        metrics.counter("parallel.remote.retries").inc(state.retries)
+        metrics.counter("parallel.remote.endpoint_failures").inc(
+            state.endpoint_failures)
+        metrics.counter("parallel.remote.pool_wall_seconds").inc(pool_wall)
+        round_trips = sum(endpoint.base.stats.calls
+                          for endpoint in endpoints)
+        saved = sum(endpoint.base.stats.batched_calls
+                    - endpoint.base.stats.batches
+                    for endpoint in endpoints)
+        metrics.counter("parallel.remote.round_trips").inc(round_trips)
+        metrics.counter("parallel.remote.saved_round_trips").inc(
+            max(0, saved))
+        wall_hist = metrics.histogram("parallel.remote.shard_wall_seconds",
+                                      buckets=_TASK_WALL_BUCKETS)
+        for outcome in outcomes:
+            wall_hist.observe(outcome.wall_seconds)
+            self._merge_worker_metrics(outcome.metrics)
+
+    @staticmethod
+    def _merge_worker_metrics(snapshot: Mapping[str, Any]) -> None:
+        metrics = TELEMETRY.metrics
+        for key, snap in snapshot.items():
+            kind = snap.get("type")
+            if kind == "counter":
+                metrics.counter(f"parallel.remote.worker.{key}").inc(
+                    max(0.0, snap.get("value", 0.0)))
+            elif kind == "histogram":
+                metrics.counter(
+                    f"parallel.remote.worker.{key}.count").inc(
+                        max(0, snap.get("count", 0)))
+                metrics.counter(
+                    f"parallel.remote.worker.{key}.sum").inc(
+                        max(0.0, snap.get("sum", 0.0)))
+
+
+# ----------------------------------------------------------------------
+# Campaign driver
+# ----------------------------------------------------------------------
+
+def remote_fault_simulate(bench: str,
+                          patterns: Sequence[Mapping[str, Any]],
+                          endpoints: Sequence[EndpointSpec],
+                          collapse: str = "equivalence",
+                          netlist: Optional[Netlist] = None,
+                          fault_list: Optional[FaultList] = None,
+                          workers: Optional[int] = None,
+                          shards: Optional[int] = None,
+                          drop_detected: bool = True,
+                          pool: Optional[RemoteWorkerPool] = None
+                          ) -> FaultSimReport:
+    """Fault-simulate ``bench`` across a farm of remote workers.
+
+    The client only needs the bench's *name* and fault names; both
+    sides rebuild the same netlist from the spec.  ``workers`` (the
+    CLI's ``--workers``) scales the shard count beyond the endpoint
+    count so endpoints steal work from each other; by default the farm
+    cuts :func:`default_shard_count` shards for one worker per
+    endpoint.  The merged report is byte-identical to a serial run.
+    """
+    if pool is None:
+        pool = RemoteWorkerPool(endpoints)
+    if netlist is None:
+        netlist = resolve_bench(bench)
+    if fault_list is None:
+        fault_list = build_fault_list(netlist, collapse=collapse)
+    patterns = [dict(pattern) for pattern in patterns]
+    if len(fault_list) <= 1:
+        # Nothing to shard; keep the exact serial code path.
+        return SerialFaultSimulator(netlist, fault_list).run(
+            patterns, drop_detected=drop_detected)
+    effective = workers if workers and workers > 0 else pool.workers
+    effective = max(effective, pool.workers)
+    count = shards or default_shard_count(effective, len(fault_list))
+    parts = shard_fault_list(fault_list, count)
+    tasks = [RemoteShard(bench, collapse, part.names, tuple(patterns),
+                         drop_detected)
+             for part in parts]
+    outcomes = pool.map(tasks)
+    return merge_reports([outcome.value for outcome in outcomes])

@@ -115,9 +115,32 @@ class BatchingTransport(Transport):
             self._flush_locked()
 
     def close(self) -> None:
-        """Flush remaining traffic, then close the wrapped transport."""
-        self.flush()
-        self.inner.close()
+        """Drain queued traffic if possible, then close the stack.
+
+        ``close`` runs on teardown paths where the inner transport may
+        already be closed or broken, so it must never raise: queued
+        oneways are *drained* when the wire still works, and *dropped*
+        otherwise -- each dropped call counted in ``stats.errors`` and
+        the ``rmi.errors`` telemetry, exactly like frames lost on a
+        dead wire.
+        """
+        with self._lock:
+            requests, self._queue = self._queue, []
+        if requests:
+            try:
+                replies = self._send(requests)
+            except Exception:
+                self.stats.errors += len(requests)
+                if TELEMETRY.enabled:
+                    TELEMETRY.metrics.counter(
+                        "rmi.errors",
+                        labels={"transport": "batching"}).inc(len(requests))
+            else:
+                self._check_oneway_replies(requests, replies)
+        try:
+            self.inner.close()
+        except Exception:  # pragma: no cover - close is best effort
+            pass
 
     # ------------------------------------------------------------------
 

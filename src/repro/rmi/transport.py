@@ -378,19 +378,38 @@ class TcpTransport(Transport):
                     f"transport failure calling "
                     f"{object_name}.{method} on {self.host}:{self.port}: "
                     f"{exc}") from exc
-        self.stats.record(len(payload), len(reply_bytes), oneway)
-        reply = CallReply.decode(reply_bytes)
+        # Accounting invariant: every call increments exactly one of
+        # {stats.record, stats.errors}.  The reply is therefore decoded
+        # and checked BEFORE the success counters move, so an error
+        # reply (or an undecodable frame) counts only as an error.
+        try:
+            reply = CallReply.decode(reply_bytes)
+        except Exception as exc:
+            self.stats.errors += 1
+            with self._lock:
+                self._close_locked()
+            if span is not None:
+                TELEMETRY.metrics.counter(
+                    "rmi.errors", labels={"transport": "tcp"}).inc()
+            raise RemoteError(
+                f"undecodable reply from {self.host}:{self.port} for "
+                f"{object_name}.{method}: {exc}") from exc
         if span is not None:
             self._account(span, "tcp", len(payload), len(reply_bytes),
                           oneway, time.perf_counter() - marshal_begin)
-        if oneway:
-            return None
         if not reply.ok:
             self.stats.errors += 1
             if span is not None:
                 TELEMETRY.metrics.counter(
                     "rmi.errors", labels={"transport": "tcp"}).inc()
+            if oneway:
+                # Oneway semantics never raise to the issuer; the
+                # failure still counts (like a lost oneway frame).
+                return None
             raise RemoteError(reply.error or "remote call failed")
+        self.stats.record(len(payload), len(reply_bytes), oneway)
+        if oneway:
+            return None
         return reply.result
 
     def invoke_batch(self, requests: Sequence[CallRequest]
@@ -426,19 +445,36 @@ class TcpTransport(Transport):
                 raise RemoteError(
                     f"transport failure sending a {len(requests)}-call "
                     f"batch to {self.host}:{self.port}: {exc}") from exc
+        # Same invariant as _invoke: decode and validate BEFORE the
+        # success counters move, so a batch that dies mid-reply never
+        # leaves stats.batches/batched_calls inconsistent with calls.
+        try:
+            reply = BatchReply.decode(reply_bytes)
+        except Exception as exc:
+            self.stats.errors += 1
+            with self._lock:
+                self._close_locked()
+            if span is not None:
+                TELEMETRY.metrics.counter(
+                    "rmi.errors", labels={"transport": "tcp"}).inc()
+            raise RemoteError(
+                f"undecodable batch reply from {self.host}:{self.port}: "
+                f"{exc}") from exc
+        if len(reply.replies) != len(requests):
+            self.stats.errors += 1
+            if span is not None:
+                TELEMETRY.metrics.counter(
+                    "rmi.errors", labels={"transport": "tcp"}).inc()
+            raise RemoteError(
+                f"batch reply carries {len(reply.replies)} replies for "
+                f"{len(requests)} calls")
         all_oneway = all(request.oneway for request in requests)
         self.stats.record_batch(len(payload), len(reply_bytes),
                                 len(requests), all_oneway)
-        reply = BatchReply.decode(reply_bytes)
         if span is not None:
             self._account_batch(span, "tcp", len(payload),
                                 len(reply_bytes), len(requests),
                                 time.perf_counter() - marshal_begin)
-        if len(reply.replies) != len(requests):
-            self.stats.errors += 1
-            raise RemoteError(
-                f"batch reply carries {len(reply.replies)} replies for "
-                f"{len(requests)} calls")
         return list(reply.replies)
 
     def _read_frame(self, connection: socket.socket) -> bytes:

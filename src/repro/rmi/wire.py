@@ -16,7 +16,7 @@ batching below so misses and stateful traffic still coalesce.
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from ..cache import ResponseCache
 from .batching import DEFAULT_MAX_BATCH, BatchingTransport
@@ -38,13 +38,24 @@ class WireOptions:
         instances constructed without an explicit override (the CLI's
         ``--rmi-timeout`` flag); slow providers and CI can raise it
         without code changes."""
+        self.cache_time_fn: Optional[Callable[[], float]] = None
+        """Clock driving response-cache TTL expiry.  ``None`` lets each
+        cache fall back to ``time.monotonic`` -- correct for real
+        wall-clock deployments, but wrong for runs driven by the
+        deterministic :class:`~repro.net.clock.VirtualClock`, where a
+        long wall-clock run could expire entries mid-run and break
+        byte-identical reproduction.  Virtual-clock sessions pin this
+        (see :class:`~repro.ip.component.ProviderConnection`, which
+        defaults its cache to the session clock's wall time)."""
 
     def configure(self, batching: Optional[bool] = None,
                   caching: Optional[bool] = None,
                   max_batch: Optional[int] = None,
                   cache_entries: Optional[int] = None,
                   cache_ttl: Optional[float] = None,
-                  rmi_timeout: Optional[float] = None) -> None:
+                  rmi_timeout: Optional[float] = None,
+                  cache_time_fn: Optional[Callable[[], float]] = None
+                  ) -> None:
         """Update the defaults (None leaves a field unchanged)."""
         if batching is not None:
             self.batching = batching
@@ -61,6 +72,8 @@ class WireOptions:
                 raise ValueError(
                     f"rmi_timeout must be positive, got {rmi_timeout}")
             self.rmi_timeout = rmi_timeout
+        if cache_time_fn is not None:
+            self.cache_time_fn = cache_time_fn
 
     def reset(self) -> None:
         """Back to the plain-wire defaults."""
@@ -77,20 +90,23 @@ def wire_session(batching: Optional[bool] = None,
                  max_batch: Optional[int] = None,
                  cache_entries: Optional[int] = None,
                  cache_ttl: Optional[float] = None,
-                 rmi_timeout: Optional[float] = None
+                 rmi_timeout: Optional[float] = None,
+                 cache_time_fn: Optional[Callable[[], float]] = None
                  ) -> Iterator[WireOptions]:
     """Apply wire options for a block, restoring the previous state."""
     saved = (WIRE_OPTIONS.batching, WIRE_OPTIONS.caching,
              WIRE_OPTIONS.max_batch, WIRE_OPTIONS.cache_entries,
-             WIRE_OPTIONS.cache_ttl, WIRE_OPTIONS.rmi_timeout)
+             WIRE_OPTIONS.cache_ttl, WIRE_OPTIONS.rmi_timeout,
+             WIRE_OPTIONS.cache_time_fn)
     WIRE_OPTIONS.configure(batching, caching, max_batch, cache_entries,
-                           cache_ttl, rmi_timeout)
+                           cache_ttl, rmi_timeout, cache_time_fn)
     try:
         yield WIRE_OPTIONS
     finally:
         (WIRE_OPTIONS.batching, WIRE_OPTIONS.caching,
          WIRE_OPTIONS.max_batch, WIRE_OPTIONS.cache_entries,
-         WIRE_OPTIONS.cache_ttl, WIRE_OPTIONS.rmi_timeout) = saved
+         WIRE_OPTIONS.cache_ttl, WIRE_OPTIONS.rmi_timeout,
+         WIRE_OPTIONS.cache_time_fn) = saved
 
 
 def wrap_transport(base: Transport,
@@ -98,11 +114,16 @@ def wrap_transport(base: Transport,
                    caching: Optional[bool] = None,
                    max_batch: Optional[int] = None,
                    cache: Optional[ResponseCache] = None,
-                   policy: Optional[CachePolicy] = None) -> Transport:
+                   policy: Optional[CachePolicy] = None,
+                   cache_time_fn: Optional[Callable[[], float]] = None
+                   ) -> Transport:
     """Stack the configured wrappers on top of a base transport.
 
     ``None`` arguments fall back to :data:`WIRE_OPTIONS`; the returned
     transport is the base itself when neither feature is on.
+    ``cache_time_fn`` names the clock the implicitly created response
+    cache uses for TTL expiry (sessions on a virtual clock pass their
+    own, so wall time cannot expire entries mid-run).
     """
     use_batching = WIRE_OPTIONS.batching if batching is None else batching
     use_caching = WIRE_OPTIONS.caching if caching is None else caching
@@ -113,7 +134,9 @@ def wrap_transport(base: Transport,
     if use_caching:
         if cache is None:  # an empty shared cache is falsy -- test `is`
             cache = ResponseCache(max_entries=WIRE_OPTIONS.cache_entries,
-                                  ttl=WIRE_OPTIONS.cache_ttl)
+                                  ttl=WIRE_OPTIONS.cache_ttl,
+                                  time_fn=(cache_time_fn
+                                           or WIRE_OPTIONS.cache_time_fn))
         transport = CachingTransport(transport, cache=cache, policy=policy)
     return transport
 

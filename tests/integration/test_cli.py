@@ -83,3 +83,72 @@ class TestExecution:
         assert "coverage 100.0%" in out
         assert "SCOAP hardest site" in out
         assert "patterns (" in out
+
+
+class TestOutputPathValidation:
+    """Bad output destinations must be rejected before any work runs."""
+
+    def _missing(self, tmp_path):
+        return str(tmp_path / "no" / "such" / "dir" / "out.json")
+
+    def test_report_out_missing_dir_fails_fast(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["faultsim", "figure4", "--patterns", "4",
+                  "--report-out", self._missing(tmp_path)])
+        err = capsys.readouterr().err
+        assert "--report-out" in err
+        # Nothing ran: the run's banner never printed.
+        assert "faults" not in capsys.readouterr().out
+
+    def test_trace_out_missing_dir_fails_fast(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure4", "--trace-out", self._missing(tmp_path)])
+        assert "--trace-out" in capsys.readouterr().err
+
+    def test_metrics_out_missing_dir_fails_fast(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure4", "--metrics-out", self._missing(tmp_path)])
+        assert "--metrics-out" in capsys.readouterr().err
+
+    def test_valid_report_path_still_writes(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(["faultsim", "figure4", "--patterns", "4",
+                     "--report-out", str(out)]) == 0
+        assert out.exists()
+
+
+class TestRemoteFarmCli:
+    def test_remote_flag_is_repeatable(self):
+        args = build_parser().parse_args(
+            ["faultsim", "figure4", "--remote", "h1:9001",
+             "--remote", "h2:9002"])
+        assert args.remote == ["h1:9001", "h2:9002"]
+
+    def test_faultworker_arguments(self):
+        args = build_parser().parse_args(
+            ["faultworker", "--port", "9001", "--serve-seconds", "0.5"])
+        assert args.port == 9001
+        assert args.serve_seconds == 0.5
+
+    def test_faultsim_remote_end_to_end(self, capsys):
+        from repro.parallel.remote import register_fault_farm
+        from repro.rmi.server import JavaCADServer
+
+        servers = []
+        endpoints = []
+        try:
+            for index in range(2):
+                server = JavaCADServer(f"cli-farm{index}")
+                register_fault_farm(server, isolate=False)
+                host, port = server.serve_tcp("127.0.0.1", 0)
+                servers.append(server)
+                endpoints.append(f"{host}:{port}")
+            argv = ["faultsim", "figure4", "--patterns", "16"]
+            for endpoint in endpoints:
+                argv += ["--remote", endpoint]
+            assert main(argv) == 0
+        finally:
+            for server in servers:
+                server.stop_tcp()
+        out = capsys.readouterr().out
+        assert "farmed across 2 remote endpoint(s)" in out

@@ -93,3 +93,31 @@ class TestTelemetryAggregation:
         TELEMETRY.reset()
         WorkerPool(2).map(_square, [1, 2, 3])
         assert "parallel.tasks" not in TELEMETRY.metrics.snapshot()
+
+
+def _fail_fast_or_hang(value):
+    import time as _time
+
+    if value == 0:
+        raise ValueError("fails immediately")
+    _time.sleep(5.0)
+    return value
+
+
+class TestFirstFailureShutdown:
+    def test_failure_carries_shard_index(self):
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            WorkerPool(2).map(_fail_on_three, [1, 2, 3, 4])
+        assert excinfo.value.shard_index == 2
+
+    def test_failure_does_not_wait_for_hung_siblings(self):
+        import time as _time
+
+        begin = _time.perf_counter()
+        with pytest.raises(ParallelExecutionError) as excinfo:
+            WorkerPool(2).map(_fail_fast_or_hang, list(range(8)))
+        elapsed = _time.perf_counter() - begin
+        assert excinfo.value.shard_index == 0
+        # The sibling worker sleeps for 5s; the failure must surface
+        # without waiting for it (pre-fix: executor shutdown blocked).
+        assert elapsed < 4.0

@@ -7,6 +7,7 @@ from repro.net.model import LOCALHOST, WAN
 from repro.net.clock import VirtualClock
 from repro.rmi import (BatchingTransport, JavaCADServer, RemoteStub,
                        base_transport_of, wrap_transport)
+from repro.rmi.transport import Transport
 
 
 class JournalServant:
@@ -166,3 +167,43 @@ class TestStubIntegration:
         transport = wrap_transport(base, batching=True, caching=True)
         assert base_transport_of(transport) is base
         assert wrap_transport(base) is base
+
+
+class _BrokenTransport(Transport):
+    """A wire that is already dead: every send and even close raise."""
+
+    def invoke(self, object_name, method, args=(), kwargs=None,
+               oneway=False):
+        raise RemoteError("wire is down")
+
+    def invoke_batch(self, requests):
+        raise RemoteError("wire is down")
+
+    def close(self):
+        raise RemoteError("already closed")
+
+
+class TestCloseSemantics:
+    def test_close_drains_queued_oneways(self, server, servant):
+        transport = batched(server)
+        transport.invoke("journal", "note", (1,), oneway=True)
+        transport.invoke("journal", "note", (2,), oneway=True)
+        transport.close()
+        assert servant.journal == [1, 2]
+        assert transport.pending == 0
+        assert transport.stats.errors == 0
+
+    def test_close_on_broken_wire_drops_and_counts(self):
+        transport = BatchingTransport(_BrokenTransport(), max_batch=8)
+        transport.invoke("journal", "note", (1,), oneway=True)
+        transport.invoke("journal", "note", (2,), oneway=True)
+        # Must not raise: the queued oneways are dropped, not lost
+        # silently -- each counts as an error.
+        transport.close()
+        assert transport.pending == 0
+        assert transport.stats.errors == 2
+
+    def test_close_survives_inner_close_failure(self):
+        transport = BatchingTransport(_BrokenTransport(), max_batch=8)
+        transport.close()
+        assert transport.stats.errors == 0

@@ -1,0 +1,186 @@
+"""TcpTransport accounting: every outcome counts exactly once.
+
+Failure injection over real socket pairs.  The invariant under test:
+each invoke/invoke_batch increments exactly one of {the success
+counters (``record``/``record_batch``), ``stats.errors``} -- never
+both, never neither.  Before the fix an error reply or a batch that
+died mid-reply moved the success counters *and* the error counter,
+leaving ``batches``/``batched_calls`` inconsistent with ``calls``.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.core import RemoteError
+from repro.rmi import JavaCADServer, TcpTransport
+from repro.rmi.protocol import (BatchReply, BatchRequest, CallReply,
+                                CallRequest)
+
+
+class _ScriptedServer:
+    """Accepts one connection; answers each frame via a reply function.
+
+    The reply function receives the raw request payload and returns
+    the raw reply payload to frame back (or ``None`` to close the
+    connection without replying).
+    """
+
+    def __init__(self, reply_fn):
+        self._reply_fn = reply_fn
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._socket.bind(("127.0.0.1", 0))
+        self._socket.listen(1)
+        self.host, self.port = self._socket.getsockname()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        connection, _address = self._socket.accept()
+        with connection:
+            while True:
+                header = b""
+                while len(header) < 4:
+                    chunk = connection.recv(4 - len(header))
+                    if not chunk:
+                        return
+                    header += chunk
+                (length,) = struct.unpack(">I", header)
+                payload = b""
+                while len(payload) < length:
+                    chunk = connection.recv(length - len(payload))
+                    if not chunk:
+                        return
+                    payload += chunk
+                reply = self._reply_fn(payload)
+                if reply is None:
+                    return
+                connection.sendall(struct.pack(">I", len(reply)) + reply)
+
+    def close(self):
+        self._socket.close()
+        self._thread.join(timeout=2.0)
+
+
+def _assert_exactly_one_error(stats):
+    """The exactly-one-of invariant after a single failed call."""
+    assert stats.errors == 1
+    assert stats.calls == 0
+    assert stats.oneway_calls == 0
+    assert stats.batches == 0
+    assert stats.batched_calls == 0
+
+
+class _Servant:
+    def add(self, a, b):
+        return a + b
+
+    def boom(self):
+        raise ValueError("servant exploded")
+
+
+@pytest.fixture
+def tcp_server():
+    server = JavaCADServer("accounting.test.provider")
+    server.bind("math", _Servant(), ["add", "boom"])
+    host, port = server.serve_tcp()
+    try:
+        yield host, port
+    finally:
+        server.stop_tcp()
+
+
+class TestInvokeAccounting:
+    def test_error_reply_counts_only_as_error(self, tcp_server):
+        host, port = tcp_server
+        transport = TcpTransport(host, port, timeout=2.0)
+        try:
+            with pytest.raises(RemoteError, match="servant exploded"):
+                transport.invoke("math", "boom")
+            _assert_exactly_one_error(transport.stats)
+        finally:
+            transport.close()
+
+    def test_oneway_error_reply_counts_only_as_error(self, tcp_server):
+        host, port = tcp_server
+        transport = TcpTransport(host, port, timeout=2.0)
+        try:
+            assert transport.invoke("math", "boom", oneway=True) is None
+            _assert_exactly_one_error(transport.stats)
+        finally:
+            transport.close()
+
+    def test_undecodable_reply_counts_once_and_drops_socket(self):
+        server = _ScriptedServer(lambda payload: b"not json at all")
+        try:
+            transport = TcpTransport(server.host, server.port,
+                                     timeout=2.0)
+            with pytest.raises(RemoteError, match="undecodable"):
+                transport.invoke("math", "add", (1, 2))
+            _assert_exactly_one_error(transport.stats)
+            assert transport._socket is None
+        finally:
+            server.close()
+
+    def test_success_still_counts_once(self, tcp_server):
+        host, port = tcp_server
+        transport = TcpTransport(host, port, timeout=2.0)
+        try:
+            assert transport.invoke("math", "add", (1, 2)) == 3
+            assert transport.stats.calls == 1
+            assert transport.stats.errors == 0
+        finally:
+            transport.close()
+
+
+def _short_batch_reply(payload):
+    """A syntactically valid BatchReply that answers too few calls."""
+    batch = BatchRequest.decode(payload)
+    replies = tuple(CallReply(call.call_id, ok=True)
+                    for call in batch.calls[:-1])
+    return BatchReply(batch.batch_id, replies).encode()
+
+
+class TestInvokeBatchAccounting:
+    def _batch(self):
+        return [CallRequest("math", "add", (index, index), {},
+                            oneway=True)
+                for index in range(3)]
+
+    def test_undecodable_batch_reply_counts_once(self):
+        server = _ScriptedServer(lambda payload: b"\xff garbage")
+        try:
+            transport = TcpTransport(server.host, server.port,
+                                     timeout=2.0)
+            with pytest.raises(RemoteError, match="undecodable"):
+                transport.invoke_batch(self._batch())
+            _assert_exactly_one_error(transport.stats)
+            assert transport._socket is None
+        finally:
+            server.close()
+
+    def test_reply_count_mismatch_counts_once(self):
+        server = _ScriptedServer(_short_batch_reply)
+        try:
+            transport = TcpTransport(server.host, server.port,
+                                     timeout=2.0)
+            with pytest.raises(RemoteError, match="carries"):
+                transport.invoke_batch(self._batch())
+            _assert_exactly_one_error(transport.stats)
+        finally:
+            server.close()
+
+    def test_successful_batch_counts_once(self, tcp_server):
+        host, port = tcp_server
+        transport = TcpTransport(host, port, timeout=2.0)
+        try:
+            replies = transport.invoke_batch(self._batch())
+            assert len(replies) == 3
+            assert transport.stats.batches == 1
+            assert transport.stats.batched_calls == 3
+            assert transport.stats.errors == 0
+        finally:
+            transport.close()
