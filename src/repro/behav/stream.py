@@ -15,10 +15,10 @@ exactly like gate/RT-level components.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Tuple
 
 from ..core.connector import Connector
-from ..core.errors import ConnectionError_, DesignError
+from ..core.errors import ConnectionError_
 from ..core.signal import SignalValue
 from ..rmi.marshal import register_value_type
 

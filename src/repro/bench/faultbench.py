@@ -11,7 +11,7 @@ baseline) -- so the two flows can be compared pattern by pattern.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.connector import BitConnector, Connector

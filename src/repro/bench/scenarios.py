@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.connector import WordConnector
 from ..core.controller import SimulationController
@@ -30,7 +30,7 @@ from ..estimation.setup import SetupController
 from ..ip.component import MultFastLowPower, ProviderConnection
 from ..ip.provider import IPProvider
 from ..net.clock import CostModel, VirtualClock
-from ..net.model import LAN, LOCALHOST, WAN, NetworkModel, PRESETS
+from ..net.model import LAN, LOCALHOST, WAN, NetworkModel
 from ..power.regression import LinearRegressionPowerEstimator
 from ..rtl.combinational import WordMultiplier
 

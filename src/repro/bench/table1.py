@@ -21,7 +21,7 @@ import math
 import random
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from ..core.connector import WordConnector
 from ..core.controller import SimulationController

@@ -7,6 +7,7 @@ Usage (also available as the ``repro-bench`` console script)::
     python -m repro.cli figure3             # Figure 3 buffer-size sweep
     python -m repro.cli figure4             # Figure 4/5 worked example
     python -m repro.cli faultsim FILE.bench # fault-simulate a netlist
+    python -m repro.cli lint                # static design/servant lint
 """
 
 from __future__ import annotations
@@ -24,13 +25,14 @@ BUILTIN_BENCHES = ("c17", "figure4", "chatty")
 """Netlist names the fault-simulation commands accept besides files."""
 
 
-def _load_netlist(spec: str):
+def _load_netlist(spec: str, validate: bool = True):
     """Load a ``.bench`` file, or build one of the builtin benches."""
     if os.path.exists(spec):
         from .gates.io import read_bench
 
         with open(spec) as handle:
-            return read_bench(handle.read(), name=spec)
+            return read_bench(handle.read(), name=spec,
+                              validate=validate)
     if spec == "c17":
         from .gates.io import c17
 
@@ -333,6 +335,79 @@ def _cmd_wirebench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_servant_spec(spec: str) -> Optional[str]:
+    """A --servants spec: a path, or an importable module/package name."""
+    if os.path.exists(spec):
+        return spec
+    import importlib.util
+
+    try:
+        found = importlib.util.find_spec(spec)
+    except (ImportError, ValueError):
+        found = None
+    if found is not None and found.origin is not None:
+        if found.submodule_search_locations:
+            return os.path.dirname(found.origin)
+        return found.origin
+    print(f"error: {spec!r} is neither a path nor an importable "
+          f"module", file=sys.stderr)
+    return None
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static design lint + servant code analysis (no execution)."""
+    from .core.errors import DesignError
+    from .lint import (Severity, format_findings, lint_netlist,
+                       lint_sources)
+    from .lint.registry import check_codes, filter_suppressed
+    from .lint.runner import record_lint_run
+
+    suppress = args.suppress or []
+    try:
+        check_codes(suppress)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    design_specs = args.design or []
+    servant_specs = args.servants or []
+    if not design_specs and not servant_specs:
+        # Default sweep: every builtin bench plus the installed
+        # package's own servant sources.
+        design_specs = list(BUILTIN_BENCHES)
+        servant_specs = [os.path.dirname(os.path.abspath(__file__))]
+
+    findings = []
+    for spec in design_specs:
+        try:
+            netlist = _load_netlist(spec, validate=False)
+        except DesignError as exc:
+            print(f"error: cannot load {spec!r}: {exc}", file=sys.stderr)
+            return 2
+        if netlist is None:
+            return 2
+        findings.extend(lint_netlist(netlist))
+    sources = []
+    for spec in servant_specs:
+        resolved = _resolve_servant_spec(spec)
+        if resolved is None:
+            return 2
+        sources.append(resolved)
+    if sources:
+        try:
+            findings.extend(lint_sources(sources))
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    kept, dropped = filter_suppressed(findings, suppress)
+    record_lint_run(kept, dropped)
+    print(format_findings(kept, fmt=args.format))
+    threshold = Severity.parse(args.fail_on)
+    failing = any(item.severity >= threshold for item in kept)
+    return 1 if failing else 0
+
+
 def _cmd_all(args: argparse.Namespace) -> int:
     """A reduced-scale pass over every experiment, one screen each."""
     quick = args.quick
@@ -495,6 +570,31 @@ def build_parser() -> argparse.ArgumentParser:
     wirebench.add_argument("--patterns", type=int, default=120)
     wirebench.add_argument("--repeats", type=int, default=20)
     wirebench.set_defaults(fn=_cmd_wirebench)
+
+    lint = subparsers.add_parser(
+        "lint", help="static design lint + RMI servant code analysis "
+                     "(runs nothing, reports JCD0xx findings)")
+    lint.add_argument("--design", metavar="BENCH", action="append",
+                      default=None,
+                      help="ISCAS .bench file or builtin bench to lint "
+                           f"({', '.join(BUILTIN_BENCHES)}; repeatable; "
+                           "defective files are loaded unvalidated so "
+                           "every finding is reported)")
+    lint.add_argument("--servants", metavar="PATH", action="append",
+                      default=None,
+                      help="source file, directory or importable module "
+                           "of servant classes to analyze (repeatable)")
+    lint.add_argument("--format", choices=["text", "json"],
+                      default="text", help="output format")
+    lint.add_argument("--fail-on", choices=["warning", "error"],
+                      default="error", dest="fail_on",
+                      help="exit nonzero when a finding of this "
+                           "severity (or worse) survives suppression")
+    lint.add_argument("--suppress", metavar="CODE", action="append",
+                      default=None,
+                      help="drop findings of a rule code for this run "
+                           "(repeatable, e.g. --suppress JCD002)")
+    lint.set_defaults(fn=_cmd_lint)
 
     everything = subparsers.add_parser(
         "all", help="run every paper experiment (use --quick for a "

@@ -84,7 +84,7 @@ class Connector:
                 return candidate
         return None
 
-    # -- per-scheduler value ---------------------------------------------------
+    # -- per-scheduler value --------------------------------------------------
 
     def default_value(self) -> SignalValue:
         """Value the connector carries before any event arrives."""
@@ -109,7 +109,8 @@ class Connector:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         ends = ", ".join(p.full_name for p in self._endpoints)
-        return f"{type(self).__name__}({self.name!r}, width={self.width}, [{ends}])"
+        return (f"{type(self).__name__}({self.name!r}, "
+                f"width={self.width}, [{ends}])")
 
 
 class BitConnector(Connector):

@@ -15,8 +15,8 @@ carrying the active setup.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
 
 from ..net.clock import CostModel, VirtualClock
 from ..telemetry.runtime import TELEMETRY

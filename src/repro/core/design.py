@@ -10,11 +10,11 @@ circuit inside :meth:`Design.design`, then hand the result to a
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .connector import Connector
 from .errors import DesignError
-from .module import CompositeModule, ModuleSkeleton
+from .module import ModuleSkeleton
 from .port import PortDirection
 
 

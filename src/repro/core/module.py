@@ -11,8 +11,7 @@ same design never interfere.
 from __future__ import annotations
 
 import itertools
-from typing import (TYPE_CHECKING, Any, Callable, Dict, Iterable, List,
-                    Optional, Tuple)
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from .connector import Connector
 from .errors import ConnectionError_, DesignError, SimulationError
@@ -170,7 +169,7 @@ class ModuleSkeleton:
         else:
             raise SimulationError(f"unknown token kind: {token!r}")
 
-    # -- behaviour hooks (override in subclasses) -------------------------------
+    # -- behaviour hooks (override in subclasses) -----------------------------
 
     def initialize(self, ctx: "SimulationContext") -> None:
         """Called once before simulation; may self-schedule tokens."""

@@ -85,7 +85,7 @@ class Scheduler:
             return None
         return self._queue[0][0]
 
-    # -- delivery ---------------------------------------------------------------
+    # -- delivery -------------------------------------------------------------
 
     def pop(self) -> Token:
         """Remove and return the earliest token, advancing ``now``."""

@@ -14,7 +14,7 @@ connectors:
 from __future__ import annotations
 
 import enum
-from typing import Iterable, List, Sequence, Tuple, Union
+from typing import Sequence, Tuple, Union
 
 
 class Logic(enum.IntEnum):

@@ -91,7 +91,7 @@ class WaveformRecorder:
                        for index, name in enumerate(self.signals())}
         lines = [
             "$date reproduction run $end",
-            f"$version repro (JavaCAD reproduction) $end",
+            "$version repro (JavaCAD reproduction) $end",
             f"$timescale {timescale} $end",
             f"$scope module {design_name} $end",
         ]

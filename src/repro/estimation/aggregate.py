@@ -13,7 +13,6 @@ from typing import Dict, Optional, Union
 
 from ..core.controller import SimulationController
 from ..core.design import Circuit
-from ..core.errors import EstimationError
 from ..core.token import EstimationToken
 from .parameter import Parameter, STANDARD_PARAMETERS
 from .setup import EstimationResults, SetupController

@@ -16,8 +16,7 @@ take an additional, unpredictable amount of time.
 from __future__ import annotations
 
 import time
-from typing import (TYPE_CHECKING, Any, Callable, Optional, Sequence,
-                    Tuple)
+from typing import TYPE_CHECKING, Any, Callable, Tuple
 
 from ..core.errors import EstimationError
 from ..core.module import ModuleSkeleton

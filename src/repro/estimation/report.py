@@ -8,7 +8,7 @@ whether to purchase -- the human-facing end of the evaluation flow.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.design import Circuit
 from .parameter import STANDARD_PARAMETERS, Parameter

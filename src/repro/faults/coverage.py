@@ -9,7 +9,7 @@ expansion is a lookup, not a re-simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Sequence, Tuple
+from typing import Mapping
 
 from .faultlist import FaultList
 from .serial import FaultSimReport

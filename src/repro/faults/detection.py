@@ -11,7 +11,8 @@ computed from.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import (Dict, FrozenSet, Iterable, Mapping, Optional, Sequence,
+                    Tuple)
 
 from ..core.signal import Logic
 from ..estimation.parameter import TESTABILITY, ParamValue

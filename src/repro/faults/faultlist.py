@@ -112,7 +112,7 @@ class FaultList:
     def __contains__(self, name: str) -> bool:
         return name in self._faults
 
-    # -- provider-side view -----------------------------------------------------
+    # -- provider-side view ---------------------------------------------------
 
     def fault(self, name: str) -> StuckAtFault:
         """The representative fault behind a symbolic name."""

@@ -10,7 +10,6 @@ export opaque symbolic names to avoid leaking net names.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from ..core.errors import FaultSimulationError
 from ..core.signal import Logic

@@ -23,8 +23,7 @@ configuration encountered by *any* machine, good or faulty.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import (Any, Dict, FrozenSet, List, Mapping, Optional,
-                    Sequence, Set, Tuple)
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.errors import DesignError, FaultSimulationError
 from ..core.signal import Logic

@@ -20,8 +20,7 @@ values, the user sees only symbolic names and output patterns.
 
 from __future__ import annotations
 
-from typing import (Dict, FrozenSet, List, Mapping, Optional, Sequence,
-                    Set, Tuple)
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..core.connector import Connector
 from ..core.controller import SimulationController
@@ -80,7 +79,8 @@ class TestabilityServant:
         table = build_detection_table(self.netlist, self.faults,
                                       input_values, only=tuple(undetected),
                                       simulator=self.simulator)
-        self.tables_served += 1
+        # Reply-invariant statistics counter; caching stays sound.
+        self.tables_served += 1  # lint: allow(JCD010)
         server_ctx = current_server_context()
         if server_ctx is not None:
             evaluations = (len(undetected) + 1) * self.netlist.gate_count()
@@ -162,7 +162,7 @@ def _value_bits(value: SignalValue) -> Tuple[Logic, ...]:
 
 def drive_connector(controller: SimulationController, connector: Connector,
                     value: SignalValue) -> None:
-    """Schedule a primary-input value at whatever module reads ``connector``."""
+    """Schedule a primary-input value at the module reading ``connector``."""
     for endpoint in connector.endpoints:
         if endpoint.direction.can_read:
             controller.scheduler.schedule(

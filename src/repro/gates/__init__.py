@@ -2,7 +2,8 @@
 
 from .analysis import (NetlistStats, arrival_times, critical_path,
                        fanin_cone, fanout_cone, netlist_stats, support)
-from .cells import AND, BUF, CELLS, NAND, NOR, NOT, OR, XNOR, XOR, CellType, cell
+from .cells import (AND, BUF, CELLS, NAND, NOR, NOT, OR, XNOR, XOR, CellType,
+                    cell)
 from .generators import (array_multiplier, equality_comparator, full_adder,
                          half_adder, ip1_block, parity_tree, random_netlist,
                          ripple_carry_adder)

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
 from ..core.errors import DesignError
-from .netlist import Gate, Netlist
+from .netlist import Netlist
 
 
 def fanin_cone(netlist: Netlist, net: str) -> Set[str]:

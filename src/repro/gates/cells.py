@@ -10,7 +10,7 @@ their relative magnitudes matter for the reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional
 
 from ..core.signal import (Logic, logic_and, logic_buf, logic_nand,
                            logic_nor, logic_not, logic_or, logic_xnor,

@@ -20,7 +20,7 @@ core is combinational; sequential behaviour lives in backplane modules).
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Tuple
+from typing import List
 
 from ..core.errors import DesignError
 from .netlist import Netlist
@@ -38,12 +38,17 @@ _IO = re.compile(r"^\s*(?P<kind>INPUT|OUTPUT)\s*\(\s*(?P<net>[\w.\[\]$-]+)"
                  r"\s*\)\s*$", re.IGNORECASE)
 
 
-def read_bench(text: str, name: str = "bench") -> Netlist:
+def read_bench(text: str, name: str = "bench",
+               validate: bool = True) -> Netlist:
     """Parse ISCAS ``.bench`` text into a validated :class:`Netlist`.
 
     Output nets that are also read elsewhere are handled directly; an
     ``OUTPUT(n)`` whose net is a primary input gets a buffer inserted
     (the netlist model forbids driving an input).
+
+    ``validate=False`` skips the structural check so tooling that
+    *reports* defects (``repro lint``) can load a broken netlist and
+    name every problem instead of dying on the first one.
     """
     netlist = Netlist(name)
     pending_outputs: List[str] = []
@@ -83,7 +88,8 @@ def read_bench(text: str, name: str = "bench") -> Netlist:
             netlist.add_output(buffered)
         else:
             netlist.add_output(net)
-    netlist.validate()
+    if validate:
+        netlist.validate()
     return netlist
 
 

@@ -172,7 +172,7 @@ class GateLevelModule(ModuleSkeleton):
         trace: List[Tuple[float, float]] = self.state(ctx)["energy_trace"]
         trace.append((ctx.now, energy))
 
-    # -- observability for estimators -------------------------------------------
+    # -- observability for estimators -----------------------------------------
 
     def energy_trace(self, ctx: "SimulationContext") -> List[Tuple[float,
                                                                    float]]:

@@ -8,8 +8,8 @@ leave a provider's server.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.errors import DesignError
 from .cells import CellType, cell as lookup_cell
@@ -140,6 +140,54 @@ class Netlist:
                 raise DesignError(f"primary output {net!r} is undriven")
         self.levelize()  # raises on cycles
 
+    def find_combinational_cycle(self) -> Optional[List[str]]:
+        """One combinational loop as an ordered net/gate name list.
+
+        The returned path alternates net and gate names and is closed
+        (first element repeated at the end), e.g.
+        ``["q", "g1_nq", "nq", "g0_q", "q"]``.  Returns ``None`` for an
+        acyclic netlist.  The same finder backs :meth:`levelize`'s
+        diagnostic and the ``JCD006`` lint rule.
+        """
+        # DFS over the net-dependency graph: net -> gate -> output net.
+        WHITE, GREY, BLACK = 0, 1, 2
+        color: Dict[str, int] = {}
+        readers: Dict[str, List[Gate]] = {}
+        for gate in self._gates:
+            for source in gate.inputs:
+                readers.setdefault(source, []).append(gate)
+
+        def visit(net: str, path: List[Tuple[str, Optional[Gate]]]
+                  ) -> Optional[List[str]]:
+            color[net] = GREY
+            for gate in readers.get(net, ()):
+                target = gate.output
+                state = color.get(target, WHITE)
+                if state == GREY:
+                    # Close the loop: walk back to the first occurrence.
+                    cycle: List[str] = [target, gate.name, net]
+                    for previous, via in reversed(path):
+                        if via is not None:
+                            cycle.append(via.name)
+                        cycle.append(previous)
+                        if previous == target:
+                            break
+                    cycle.reverse()
+                    return cycle
+                if state == WHITE:
+                    found = visit(target, path + [(net, gate)])
+                    if found is not None:
+                        return found
+            color[net] = BLACK
+            return None
+
+        for start in [gate.output for gate in self._gates]:
+            if color.get(start, WHITE) == WHITE:
+                found = visit(start, [])
+                if found is not None:
+                    return found
+        return None
+
     def levelize(self) -> Tuple[Gate, ...]:
         """Topologically ordered gates; raises on combinational loops."""
         if self._levelized is not None:
@@ -159,10 +207,15 @@ class Netlist:
                 else:
                     still.append(gate)
             if not progressed:
+                cycle = self.find_combinational_cycle()
+                if cycle is not None:
+                    raise DesignError(
+                        f"netlist {self.name!r} has a combinational "
+                        f"loop: {' -> '.join(cycle)}")
                 names = ", ".join(g.name for g in still[:5])
                 raise DesignError(
-                    f"netlist {self.name!r} has a combinational loop or "
-                    f"undriven nets involving: {names}")
+                    f"netlist {self.name!r} has undriven nets feeding: "
+                    f"{names}")
             remaining = still
         self._levelized = order
         return tuple(order)

@@ -20,7 +20,7 @@ data-sheet-grade precursor to the dynamic detection-table protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..core.errors import DesignError
 from .netlist import Gate, Netlist

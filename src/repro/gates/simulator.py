@@ -7,7 +7,7 @@ exposing ``is_stem``, ``net``, ``gate_name``, ``pin`` and ``value``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Mapping, Set, Tuple
 
 from ..core.errors import SimulationError
 from ..core.signal import Logic

@@ -10,7 +10,7 @@ Figure 3 sweep measures exactly these two effects.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List
 
 
 class PatternBuffer:

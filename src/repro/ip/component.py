@@ -17,8 +17,7 @@ exactly as in the paper's Figure 2.
 from __future__ import annotations
 
 import itertools
-from typing import (TYPE_CHECKING, Any, Dict, List, Optional, Sequence,
-                    Tuple, Union)
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
 
 from ..core.connector import Connector
 from ..core.errors import DesignError, IPProtectionError
@@ -26,8 +25,7 @@ from ..core.module import ModuleSkeleton
 from ..core.port import PortDirection
 from ..core.signal import Word
 from ..core.token import SignalToken, Token
-from ..estimation.estimator import (ConstantEstimator, EstimatorSkeleton,
-                                    NullEstimator)
+from ..estimation.estimator import ConstantEstimator, EstimatorSkeleton
 from ..estimation.parameter import AREA, AVERAGE_POWER, DELAY, NullValue
 from ..net.clock import CostModel, VirtualClock
 from ..net.model import LOCALHOST, NetworkModel

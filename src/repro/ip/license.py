@@ -23,9 +23,9 @@ import hashlib
 import hmac
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from ..core.errors import BillingError, RemoteError
+from ..core.errors import BillingError
 from ..gates.io import read_bench, write_bench
 from ..gates.netlist import Netlist
 from .watermark import embed_watermark, verify_watermark
@@ -120,7 +120,7 @@ class LicenseServant:
                                 license_.buyer)
         return hmac.compare_digest(expected, license_.key)
 
-    # -- provider-side forensics --------------------------------------------------
+    # -- provider-side forensics ----------------------------------------------
 
     def identify_leak(self, bench_text: str) -> Optional[str]:
         """Attribute a leaked implementation to the buyer it was sold to.

@@ -11,11 +11,10 @@ itself can never leave: the restricted marshaller rejects it.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.errors import IPProtectionError, RemoteError
-from ..estimation.parameter import AVERAGE_POWER
-from ..faults.faultlist import FaultList, build_fault_list
+from ..faults.faultlist import build_fault_list
 from ..faults.virtual import TestabilityServant
 from ..gates.generators import array_multiplier
 from ..gates.netlist import Netlist

@@ -12,9 +12,9 @@ disclosing a single pattern.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..core.errors import BillingError, RemoteError
+from ..core.errors import BillingError
 from ..core.signal import Logic
 from ..faults.atpg import TestSet, generate_test_set
 from ..faults.faultlist import FaultList, build_fault_list
@@ -71,7 +71,7 @@ class TestSequenceVault:
         """Total cents earned so far (provider bookkeeping)."""
         return self._revenue
 
-    # -- provider-side helpers --------------------------------------------------
+    # -- provider-side helpers ------------------------------------------------
 
     def total_price(self) -> float:
         """Price of the whole sequence, cents."""

@@ -1,0 +1,77 @@
+"""Findings and severities: the common currency of every lint rule.
+
+A :class:`Finding` is one diagnostic tied to a stable rule code
+(``JCD0xx``), a severity, a human-readable message and a *target* -- a
+dotted design location (``circuit.module.port``) for design lint, or a
+``path:line`` pair for the static code analyzers.  Findings are plain
+frozen values so they can be sorted, deduplicated, JSON-exported and
+asserted on in tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; orderable so thresholds compare naturally."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse ``"error"`` / ``"warning"`` / ``"info"`` (any case)."""
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{', '.join(s.name.lower() for s in cls)}") from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic produced by a rule."""
+
+    code: str
+    """Stable rule code, e.g. ``JCD001``."""
+
+    severity: Severity
+    """Severity of this particular finding (rules may downgrade)."""
+
+    message: str
+    """Human-readable description of the defect."""
+
+    target: str
+    """Where: a dotted design path, or a source file path."""
+
+    line: Optional[int] = None
+    """Source line for static-analysis findings, ``None`` otherwise."""
+
+    @property
+    def location(self) -> str:
+        """``target`` or ``target:line`` when a line is known."""
+        if self.line is None:
+            return self.target
+        return f"{self.target}:{self.line}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-exportable representation (the ``--format json`` shape)."""
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "target": self.target,
+            "line": self.line,
+        }
+
+    def format(self) -> str:
+        """One-line text rendering: ``location: severity JCD0xx message``."""
+        return f"{self.location}: {self.severity} {self.code} {self.message}"

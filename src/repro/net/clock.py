@@ -22,7 +22,7 @@ completion still pending.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 
@@ -123,7 +123,7 @@ class VirtualClock:
         with self._lock:
             self._wall += seconds
 
-    # -- non-blocking completions ----------------------------------------------
+    # -- non-blocking completions ---------------------------------------------
 
     def begin_async(self, duration: float) -> float:
         """Register a non-blocking operation finishing ``duration`` from now.

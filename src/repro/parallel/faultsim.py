@@ -24,7 +24,7 @@ process granularity.
 
 from __future__ import annotations
 
-from typing import Callable, List, Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 from ..core.signal import Logic
 from ..faults.atpg import TestSet, generate_test_set

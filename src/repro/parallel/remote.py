@@ -44,9 +44,9 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import (Any, Dict, Iterable, List, Mapping, Optional, Sequence,
-                    Set, Tuple, Union)
+from dataclasses import dataclass
+from typing import (Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple,
+                    Union)
 
 from ..core.errors import ParallelExecutionError
 from ..faults.faultlist import FaultList, build_fault_list

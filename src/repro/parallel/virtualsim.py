@@ -18,7 +18,7 @@ its keyword arguments must pickle; see
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence
 
 from ..faults.serial import FaultSimReport
 from ..faults.virtual import VirtualFaultSimulator

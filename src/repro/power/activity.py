@@ -7,7 +7,7 @@ these helpers compute that activity at the word and sequence level.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from ..core.signal import Word
 

@@ -11,7 +11,7 @@ error floor remains.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence
 
 import numpy as np
 

@@ -16,7 +16,7 @@ three estimators are scored.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..core.signal import Logic
 from ..gates.netlist import Netlist

@@ -60,6 +60,22 @@ class CachePolicy:
             return False
         return self.objects is None or object_name in self.objects
 
+    def cacheable_methods(self) -> FrozenSet[str]:
+        """The method names this policy treats as pure.
+
+        Introspection hook for tooling (``repro lint`` checks that
+        every whitelisted method really is side-effect-free).
+        """
+        return self.methods
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-able summary of the policy for diagnostics and lint."""
+        return {
+            "methods": sorted(self.methods),
+            "objects": sorted(self.objects)
+            if self.objects is not None else None,
+        }
+
 
 class CachingTransport(Transport):
     """Serve repeats of pure calls from a response cache.

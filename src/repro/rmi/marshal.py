@@ -42,6 +42,16 @@ def register_value_type(tag: str, cls: Type,
     _VALUE_CODECS[tag] = (cls, to_wire, from_wire)
 
 
+def registered_value_types() -> Dict[str, Type]:
+    """The whitelisted value types, keyed by wire tag.
+
+    Introspection only (the lint analyzers use it to know which return
+    types a servant may legally promise); mutating the returned dict
+    does not affect the registry.
+    """
+    return {tag: cls for tag, (cls, _t, _f) in _VALUE_CODECS.items()}
+
+
 def _to_wire(obj: Any, depth: int = 0) -> Any:
     if depth > 32:
         raise MarshalError("marshalled structure is too deeply nested")

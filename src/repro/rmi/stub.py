@@ -9,7 +9,7 @@ module is identical to the instantiation of any local module").
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Sequence
 
 from ..core.errors import RemoteError
 from .transport import Transport

@@ -17,7 +17,7 @@ import os
 from typing import Any, Dict, IO, List, Union
 
 from .metrics import MetricsRegistry
-from .trace import Span, Tracer
+from .trace import Tracer
 
 PathOrFile = Union[str, "os.PathLike[str]", IO[str]]
 

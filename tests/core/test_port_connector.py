@@ -64,6 +64,64 @@ class TestConnector:
         with pytest.raises(ConnectionError_):
             connector.detach(port)
 
+    def test_double_attach_same_port_same_connector(self):
+        connector = BitConnector()
+        port = make_port("a")
+        connector.attach(port)
+        with pytest.raises(ConnectionError_, match="already connected"):
+            connector.attach(port)
+        # The failed attach must not duplicate the endpoint.
+        assert connector.endpoints == (port,)
+
+    def test_detach_never_attached_port(self):
+        connector = BitConnector()
+        with pytest.raises(ConnectionError_, match="is not attached"):
+            connector.detach(make_port("a"))
+
+    def test_detach_port_attached_elsewhere(self):
+        here, elsewhere = BitConnector(), BitConnector()
+        port = make_port("a")
+        elsewhere.attach(port)
+        with pytest.raises(ConnectionError_, match="is not attached"):
+            here.detach(port)
+        assert port.connector is elsewhere
+
+    def test_reattach_after_detach(self):
+        connector = BitConnector()
+        port = make_port("a")
+        connector.attach(port)
+        connector.detach(port)
+        connector.attach(port)
+        assert port.connector is connector
+        assert connector.endpoints == (port,)
+
+    def test_failed_attach_leaves_connector_unchanged(self):
+        connector = BitConnector()
+        a, b = make_port("a", PortDirection.OUT), make_port("b")
+        connector.attach(a)
+        connector.attach(b)
+        before = connector.endpoints
+        with pytest.raises(ConnectionError_):
+            connector.attach(make_port("c"))
+        assert connector.endpoints == before
+
+    def test_failed_width_attach_leaves_port_unconnected(self):
+        port = make_port("a", width=4)
+        with pytest.raises(WidthMismatchError):
+            WordConnector(8).attach(port)
+        assert not port.is_connected
+        assert port.connector is None
+
+    def test_detach_leaves_peer_attached(self):
+        connector = BitConnector()
+        a, b = make_port("a", PortDirection.OUT), make_port("b")
+        connector.attach(a)
+        connector.attach(b)
+        connector.detach(a)
+        assert connector.endpoints == (b,)
+        assert b.connector is connector and a.connector is None
+        assert connector.peer_of(b) is None
+
     def test_default_values(self):
         assert BitConnector().default_value() is Logic.X
         default = WordConnector(8).default_value()
