@@ -64,14 +64,18 @@ class ScenarioResult:
 
 @lru_cache(maxsize=8)
 def shared_provider(width: int = DEFAULT_WIDTH,
-                    power_enabled: bool = True) -> IPProvider:
+                    power_enabled: bool = True,
+                    engine: str = "event") -> IPProvider:
     """A memoized provider publishing the Figure 2 multiplier IP.
 
     Publishing characterizes power models over the secret netlist, which
     is expensive; benchmarks reuse one provider per configuration.
+    ``engine`` selects the provider-side gate simulation (see
+    :meth:`repro.ip.provider.IPProvider.publish_multiplier`).
     """
     provider = IPProvider("provider.host.name")
-    provider.publish_multiplier(width, power_enabled=power_enabled)
+    provider.publish_multiplier(width, power_enabled=power_enabled,
+                                engine=engine)
     return provider
 
 
@@ -145,18 +149,25 @@ def run_scenario(mode: str, network: NetworkModel = LOCALHOST,
                  collect_powers: bool = False,
                  nonblocking: bool = False,
                  batching: Optional[bool] = None,
-                 caching: Optional[bool] = None) -> ScenarioResult:
+                 caching: Optional[bool] = None,
+                 engine: str = "event") -> ScenarioResult:
     """Run one Table 2 cell and return its measured row.
 
     ``batching``/``caching`` select the wire wrappers for the provider
     connection; ``None`` defers to the process-wide ``WIRE_OPTIONS``
-    (the CLI's ``--rmi-batch`` / ``--rmi-cache`` flags).
+    (the CLI's ``--rmi-batch`` / ``--rmi-cache`` flags).  ``engine``
+    picks the provider-side gate simulation (event or compiled); the
+    timing rows are engine-independent.
     """
     cost = cost_model or CostModel()
     clock = VirtualClock()
     connection: Optional[ProviderConnection] = None
     if mode != "AL":
-        provider = shared_provider(width, power_enabled)
+        # Two-argument form for the default engine so the memo key is
+        # shared with direct ``shared_provider(width, enabled)`` callers.
+        provider = (shared_provider(width, power_enabled)
+                    if engine == "event"
+                    else shared_provider(width, power_enabled, engine))
         connection = ProviderConnection(provider, network, clock=clock,
                                         cost_model=cost,
                                         batching=batching,
@@ -198,14 +209,16 @@ def run_scenario(mode: str, network: NetworkModel = LOCALHOST,
 
 
 def run_table2(width: int = DEFAULT_WIDTH, patterns: int = DEFAULT_PATTERNS,
-               buffer_size: int = DEFAULT_BUFFER) -> List[ScenarioResult]:
+               buffer_size: int = DEFAULT_BUFFER,
+               engine: str = "event") -> List[ScenarioResult]:
     """All seven rows of the paper's Table 2, in paper order."""
-    rows = [run_scenario("AL", LOCALHOST, width, patterns, buffer_size)]
+    rows = [run_scenario("AL", LOCALHOST, width, patterns, buffer_size,
+                         engine=engine)]
     for network in (LOCALHOST, LAN, WAN):
         rows.append(run_scenario("ER", network, width, patterns,
-                                 buffer_size))
+                                 buffer_size, engine=engine))
         rows.append(run_scenario("MR", network, width, patterns,
-                                 buffer_size))
+                                 buffer_size, engine=engine))
     # Paper order: AL, ER/MR local, ER/MR LAN, ER/MR WAN.
     return rows
 

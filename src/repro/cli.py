@@ -69,16 +69,17 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     from .parallel import resolve_workers, run_table2_parallel
 
     workers = resolve_workers(getattr(args, "workers", 0) or None)
+    engine = getattr(args, "engine", "event")
     if workers > 1:
         rows = run_table2_parallel(width=args.width,
                                    patterns=args.patterns,
                                    buffer_size=args.buffer,
-                                   workers=workers)
+                                   workers=workers, engine=engine)
     else:
         from .bench.scenarios import run_table2
 
         rows = run_table2(width=args.width, patterns=args.patterns,
-                          buffer_size=args.buffer)
+                          buffer_size=args.buffer, engine=engine)
     print(f"Table 2 -- {args.patterns} patterns, buffer of "
           f"{args.buffer}:")
     print(format_table(
@@ -132,9 +133,9 @@ def _cmd_figure4(_args: argparse.Namespace) -> int:
 
 
 def _cmd_faultsim(args: argparse.Namespace) -> int:
+    from .compiled import fault_simulator_for
     from .core.signal import Logic
     from .faults.faultlist import build_fault_list
-    from .faults.serial import SerialFaultSimulator
     from .parallel import parallel_fault_simulate, resolve_workers
 
     netlist = _load_netlist(args.netlist)
@@ -153,18 +154,22 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
         report = remote_fault_simulate(
             args.netlist, patterns, remotes, collapse=args.collapse,
             netlist=netlist, fault_list=fault_list,
-            workers=getattr(args, "workers", 0) or None)
+            workers=getattr(args, "workers", 0) or None,
+            engine=args.engine)
         workers = len(remotes)
     elif workers > 1 and len(fault_list) > 1:
         report = parallel_fault_simulate(netlist, patterns,
                                          fault_list=fault_list,
-                                         workers=workers)
+                                         workers=workers,
+                                         engine=args.engine)
     else:
         workers = 1
-        report = SerialFaultSimulator(netlist, fault_list).run(patterns)
+        report = fault_simulator_for(args.engine, netlist,
+                                     fault_list).run(patterns)
     print(f"{args.netlist}: {netlist.gate_count()} gates, "
           f"{len(netlist.inputs)} inputs, {len(netlist.outputs)} outputs")
-    print(f"fault list ({args.collapse}): {len(fault_list)} faults")
+    print(f"fault list ({args.collapse}): {len(fault_list)} faults, "
+          f"{args.engine} engine")
     if remotes:
         print(f"farmed across {len(remotes)} remote endpoint(s): "
               f"{', '.join(remotes)}")
@@ -184,6 +189,7 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
             "collapse": args.collapse,
             "patterns": args.patterns,
             "seed": args.seed,
+            "engine": args.engine,
             "workers": workers,
             "total_faults": report.total_faults,
             "detected": report.detected,
@@ -238,13 +244,14 @@ def _cmd_atpg(args: argparse.Namespace) -> int:
     if workers > 1 and len(fault_list) > 1:
         test_set = parallel_generate_test_set(
             netlist, fault_list, workers=workers,
-            random_patterns=args.random_patterns, seed=args.seed)
+            random_patterns=args.random_patterns, seed=args.seed,
+            engine=args.engine)
     else:
         from .faults.atpg import generate_test_set
 
         test_set = generate_test_set(
             netlist, fault_list, random_patterns=args.random_patterns,
-            seed=args.seed)
+            seed=args.seed, engine=args.engine)
     print(f"{args.netlist}: {netlist.gate_count()} gates, "
           f"{len(fault_list)} target faults ({args.collapse})")
     print(f"test set: {len(test_set.patterns)} patterns, "
@@ -486,6 +493,10 @@ def build_parser() -> argparse.ArgumentParser:
     table2.add_argument("--width", type=int, default=16)
     table2.add_argument("--patterns", type=int, default=100)
     table2.add_argument("--buffer", type=int, default=5)
+    table2.add_argument("--engine", default="event",
+                        choices=["event", "compiled"],
+                        help="provider-side gate-simulation engine "
+                             "(toggle power model, detection tables)")
     table2.add_argument("--workers", type=int, default=0, metavar="N",
                         help="run scenarios concurrently on N worker "
                              "processes (0 = one per CPU core)")
@@ -523,6 +534,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="farm shards out to a remote fault-farm "
                                "worker (repeatable; start workers with "
                                "the faultworker subcommand)")
+    faultsim.add_argument("--engine", default="event",
+                          choices=["event", "compiled"],
+                          help="gate-simulation engine: the interpreted "
+                               "event-driven path or the compiled "
+                               "pattern-packed (PPSFP) kernel; reports "
+                               "are identical either way")
     faultsim.add_argument("--report-out", metavar="FILE", default=None,
                           help="write the full report (detected map, "
                                "coverage, undetected) as JSON to FILE")
@@ -554,6 +571,10 @@ def build_parser() -> argparse.ArgumentParser:
     atpg.add_argument("--workers", type=int, default=0, metavar="N",
                       help="shard target faults across N worker "
                            "processes (0 = one per CPU core)")
+    atpg.add_argument("--engine", default="event",
+                      choices=["event", "compiled"],
+                      help="fault-simulation engine for the random "
+                           "phase and per-pattern dropping")
     atpg.set_defaults(fn=_cmd_atpg)
 
     scoap = subparsers.add_parser(

@@ -1,0 +1,36 @@
+"""Compiled (pattern-packed) gate simulation: the PPSFP kernel.
+
+The interpreted simulators in :mod:`repro.gates.simulator` evaluate one
+gate for one pattern at a time.  This package compiles a levelized
+:class:`~repro.gates.netlist.Netlist` once into straight-line Python
+bitwise code -- one word operation per gate -- and runs 64 test
+patterns per machine word (classic PPSFP), with stuck-at faults
+injected through per-site masks and dropped at word granularity.
+
+The compiled engine is selectable end to end with ``--engine compiled``
+on the ``faultsim`` / ``atpg`` / ``table2`` CLI commands and produces
+``FaultSimReport`` values byte-identical to the serial interpreted
+path (see ``tests/differential/test_engine_differential.py``).
+"""
+
+from .compiler import (CompiledKernel, compile_netlist, clear_kernel_cache,
+                       netlist_fingerprint)
+from .engine import ENGINES, fault_simulator_for, resolve_engine
+from .power import CompiledToggleModel
+from .ppsfp import (WORD_BITS, CompiledFaultSimulator, CompiledSimulator,
+                    pack_patterns)
+
+__all__ = [
+    "ENGINES",
+    "WORD_BITS",
+    "CompiledFaultSimulator",
+    "CompiledKernel",
+    "CompiledSimulator",
+    "CompiledToggleModel",
+    "clear_kernel_cache",
+    "compile_netlist",
+    "fault_simulator_for",
+    "netlist_fingerprint",
+    "pack_patterns",
+    "resolve_engine",
+]

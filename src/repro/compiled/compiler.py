@@ -1,0 +1,271 @@
+"""Netlist-to-Python compiler for pattern-packed simulation.
+
+The compiler levelizes a netlist once and emits a straight-line Python
+function containing one bitwise expression per gate, working on whole
+machine words of packed test patterns.  Three-valued logic uses a
+two-word encoding per net -- a *value* word ``v`` and a *care* word
+``c`` -- with the canonical invariant ``v & ~c == 0``:
+
+==========  ===========  ==========
+``Logic``   value bit    care bit
+==========  ===========  ==========
+``ZERO``    0            1
+``ONE``     1            1
+``X`` (*)   0            0
+==========  ===========  ==========
+
+(*) ``Z`` packs like ``X``: gates read high-impedance inputs through
+``Logic.driven()``, which maps ``Z`` to ``X``, so the distinction only
+matters for the raw echo of primary-input values (handled by the
+runner, not the kernel).
+
+Under the invariant, equality of two ``Logic`` values is exactly
+equality of their (value, care) bit pairs, which is what makes the
+packed detection word ``(vg ^ vf) | (cg ^ cf)`` agree bit-for-bit with
+the interpreted simulator's output-tuple comparison.
+
+Two functions are generated per netlist:
+
+* ``run_good(iv, ic)`` -- fault-free evaluation; returns the
+  ``(v, c)`` pair of every net, interleaved in net order.
+* ``run_fault(iv, ic, fm, fv)`` -- the same straight line with a
+  mask-based *injection hook* at every fault site: ``fm`` holds one
+  mask word per site (all zero except the site under test) and ``fv``
+  the stuck value word, so activating a fault is two list writes, not
+  a recompile.
+
+Sites mirror :func:`repro.faults.faultlist.enumerate_faults`: one stem
+site per net, plus one branch site per gate input pin whose source net
+fans out to more than one reader.
+
+Compilation is cached process-wide, keyed by a content hash over the
+netlist structure, and reports ``compiled.*`` telemetry (compile time,
+cache hits/misses).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from ..core.errors import FaultSimulationError
+from ..gates.netlist import Netlist
+from ..telemetry.runtime import TELEMETRY
+
+_GoodFn = Callable[[Sequence[int], Sequence[int]], Tuple[int, ...]]
+_FaultFn = Callable[[Sequence[int], Sequence[int], Sequence[int], int],
+                    Tuple[int, ...]]
+
+
+def netlist_fingerprint(netlist: Netlist) -> str:
+    """A content hash of the netlist structure (not its name).
+
+    Two netlists with the same inputs, outputs and gate list compile to
+    the same kernel, so they share one cache entry.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(netlist.inputs).encode())
+    digest.update(repr(netlist.outputs).encode())
+    for gate in netlist.gates:
+        digest.update(repr((gate.name, gate.cell.name, gate.inputs,
+                            gate.output)).encode())
+    return digest.hexdigest()
+
+
+def _gate_lines(cell_name: str, out_v: str, out_c: str,
+                vs: Sequence[str], cs: Sequence[str]) -> List[str]:
+    """The straight-line statements computing one gate's output words.
+
+    Every formula preserves the canonical invariant and reproduces the
+    four-valued semantics of :mod:`repro.core.signal` (0 dominates AND,
+    1 dominates OR, any X poisons XOR/XNOR).  All intermediate values
+    stay non-negative: ``~x`` only ever appears masked by a care word.
+    """
+    v_and = " & ".join(vs)
+    v_or = " | ".join(vs)
+    v_xor = " ^ ".join(vs)
+    c_all = " & ".join(cs)
+    any_zero = " | ".join(f"({c} & ~{v})" for v, c in zip(vs, cs))
+    if cell_name == "BUF":
+        return [f"{out_v} = {vs[0]}", f"{out_c} = {cs[0]}"]
+    if cell_name == "NOT":
+        return [f"{out_v} = {cs[0]} & ~{vs[0]}", f"{out_c} = {cs[0]}"]
+    if cell_name == "AND":
+        return [f"{out_v} = {v_and}",
+                f"{out_c} = ({c_all}) | {any_zero}"]
+    if cell_name == "NAND":
+        return [f"{out_c} = ({c_all}) | {any_zero}",
+                f"{out_v} = {out_c} & ~({v_and})"]
+    if cell_name == "OR":
+        return [f"{out_v} = {v_or}",
+                f"{out_c} = ({c_all}) | {out_v}"]
+    if cell_name == "NOR":
+        return [f"_t = {v_or}",
+                f"{out_c} = ({c_all}) | _t",
+                f"{out_v} = {out_c} & ~_t"]
+    if cell_name == "XOR":
+        return [f"{out_c} = {c_all}",
+                f"{out_v} = ({v_xor}) & {out_c}"]
+    if cell_name == "XNOR":
+        return [f"{out_c} = {c_all}",
+                f"{out_v} = {out_c} & ~({v_xor})"]
+    raise FaultSimulationError(
+        f"cannot compile cell type {cell_name!r}")
+
+
+def _force(v_expr: str, c_expr: str, mask: str,
+           target_v: str, target_c: str) -> List[str]:
+    """Statements overriding a (value, care) pair where ``mask`` is set."""
+    return [f"{target_v} = ({v_expr} & ~{mask}) | (fv & {mask})",
+            f"{target_c} = {c_expr} | {mask}"]
+
+
+class CompiledKernel:
+    """One netlist compiled to straight-line word-op Python.
+
+    Attributes are all derived once at compile time; the kernel itself
+    is immutable and safe to share between simulators (and across
+    equal-content netlists via the compile cache).
+    """
+
+    def __init__(self, netlist: Netlist):
+        netlist.validate()
+        order = netlist.levelize()
+        self.fingerprint = netlist_fingerprint(netlist)
+        self.inputs: Tuple[str, ...] = netlist.inputs
+        self.outputs: Tuple[str, ...] = netlist.outputs
+        self.gate_count = len(order)
+        # Net order: primary inputs first, then gate outputs in
+        # levelized (emission) order.
+        nets: List[str] = list(self.inputs)
+        nets.extend(gate.output for gate in order)
+        self.nets: Tuple[str, ...] = tuple(nets)
+        self.net_index: Dict[str, int] = {
+            net: index for index, net in enumerate(self.nets)}
+        self.output_index: Tuple[int, ...] = tuple(
+            self.net_index[net] for net in self.outputs)
+        # Fault sites, numbered stems first then branch pins, mirroring
+        # enumerate_faults (branch sites only where fanout > 1).
+        self.stem_site: Dict[str, int] = {
+            net: index for index, net in enumerate(self.nets)}
+        self.branch_site: Dict[Tuple[str, int], int] = {}
+        site = len(self.nets)
+        for net in self.nets:
+            readers = netlist.fanout_of(net)
+            if len(readers) <= 1:
+                continue
+            for gate, pin in readers:
+                self.branch_site[(gate.name, pin)] = site
+                site += 1
+        self.site_count = site
+        self.source = self._generate(order)
+        namespace: Dict[str, Any] = {}
+        exec(compile(self.source, f"<compiled:{netlist.name}>", "exec"),
+             namespace)
+        self.run_good: _GoodFn = namespace["run_good"]
+        self.run_fault: _FaultFn = namespace["run_fault"]
+
+    # ------------------------------------------------------------------
+
+    def site_for(self, fault: Any) -> int:
+        """The injection-site index of a stuck-at fault.
+
+        Branch sites exist only where the fault universe has them
+        (source fanout > 1); anything else is a stem site.
+        """
+        if fault.is_stem:
+            try:
+                return self.stem_site[fault.net]
+            except KeyError:
+                raise FaultSimulationError(
+                    f"no net {fault.net!r} in compiled kernel") from None
+        try:
+            return self.branch_site[(fault.gate_name, fault.pin)]
+        except KeyError:
+            raise FaultSimulationError(
+                f"no compiled injection site for branch fault at "
+                f"{fault.gate_name}.{fault.pin} (single-fanout pins "
+                f"collapse to their stem)") from None
+
+    # ------------------------------------------------------------------
+
+    def _generate(self, order: Sequence[Any]) -> str:
+        lines: List[str] = []
+        self._emit(lines, order, with_faults=False)
+        lines.append("")
+        self._emit(lines, order, with_faults=True)
+        return "\n".join(lines) + "\n"
+
+    def _emit(self, lines: List[str], order: Sequence[Any],
+              with_faults: bool) -> None:
+        index = self.net_index
+        if with_faults:
+            lines.append("def run_fault(iv, ic, fm, fv):")
+        else:
+            lines.append("def run_good(iv, ic):")
+        body: List[str] = []
+        for position, net in enumerate(self.inputs):
+            i = index[net]
+            if with_faults:
+                site = self.stem_site[net]
+                body.append(f"m = fm[{site}]")
+                body.extend(_force(f"iv[{position}]", f"ic[{position}]",
+                                   "m", f"v{i}", f"c{i}"))
+            else:
+                body.append(f"v{i} = iv[{position}]")
+                body.append(f"c{i} = ic[{position}]")
+        for gate in order:
+            vs: List[str] = []
+            cs: List[str] = []
+            for pin, source in enumerate(gate.inputs):
+                s = index[source]
+                site = self.branch_site.get((gate.name, pin))
+                if with_faults and site is not None:
+                    body.append(f"m = fm[{site}]")
+                    body.extend(_force(f"v{s}", f"c{s}", "m",
+                                       f"b{pin}v", f"b{pin}c"))
+                    vs.append(f"b{pin}v")
+                    cs.append(f"b{pin}c")
+                else:
+                    vs.append(f"v{s}")
+                    cs.append(f"c{s}")
+            out = index[gate.output]
+            body.extend(_gate_lines(gate.cell.name, f"v{out}", f"c{out}",
+                                    vs, cs))
+            if with_faults:
+                site = self.stem_site[gate.output]
+                body.append(f"m = fm[{site}]")
+                body.extend(_force(f"v{out}", f"c{out}", "m",
+                                   f"v{out}", f"c{out}"))
+        terms = ", ".join(f"v{i}, c{i}" for i in range(len(self.nets)))
+        body.append(f"return ({terms})")
+        lines.extend(f"    {line}" for line in body)
+
+
+_KERNEL_CACHE: Dict[str, CompiledKernel] = {}
+
+
+def compile_netlist(netlist: Netlist) -> CompiledKernel:
+    """Compile a netlist, reusing the process-wide kernel cache."""
+    key = netlist_fingerprint(netlist)
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is not None:
+        if TELEMETRY.enabled:
+            TELEMETRY.metrics.counter("compiled.cache.hits").inc()
+        return kernel
+    begin = time.perf_counter()
+    kernel = CompiledKernel(netlist)
+    elapsed = time.perf_counter() - begin
+    _KERNEL_CACHE[key] = kernel
+    if TELEMETRY.enabled:
+        metrics = TELEMETRY.metrics
+        metrics.counter("compiled.cache.misses").inc()
+        metrics.counter("compiled.compile_seconds").inc(elapsed)
+        metrics.counter("compiled.kernels").inc()
+    return kernel
+
+
+def clear_kernel_cache() -> None:
+    """Drop every cached kernel (tests and memory-sensitive callers)."""
+    _KERNEL_CACHE.clear()

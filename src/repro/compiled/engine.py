@@ -1,0 +1,50 @@
+"""Engine selection: the interpreted event path vs the compiled kernel.
+
+Every campaign entry point (CLI, parallel workers, the remote fault
+farm) funnels its ``--engine`` choice through :func:`resolve_engine`
+and builds its serial-equivalent simulator through
+:func:`fault_simulator_for`, so the two engines stay interchangeable
+everywhere a :class:`~repro.faults.serial.SerialFaultSimulator` is
+accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..core.errors import FaultSimulationError
+from ..faults.faultlist import FaultList
+from ..faults.serial import SerialFaultSimulator
+from ..gates.netlist import Netlist
+from .ppsfp import CompiledFaultSimulator
+
+ENGINES = ("event", "compiled")
+"""Selectable gate-simulation engines."""
+
+DEFAULT_ENGINE = "event"
+
+AnyFaultSimulator = Union[SerialFaultSimulator, CompiledFaultSimulator]
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Validate an engine name; ``None`` means the default (event)."""
+    if engine is None:
+        return DEFAULT_ENGINE
+    if engine not in ENGINES:
+        raise FaultSimulationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}")
+    return engine
+
+
+def fault_simulator_for(engine: Optional[str], netlist: Netlist,
+                        fault_list: Optional[FaultList] = None
+                        ) -> AnyFaultSimulator:
+    """A serial-semantics fault simulator for the chosen engine.
+
+    Both return types expose the same campaign surface (``run``,
+    ``detects``, ``fault_list``, ``netlist``) and produce identical
+    :class:`~repro.faults.serial.FaultSimReport` values.
+    """
+    if resolve_engine(engine) == "compiled":
+        return CompiledFaultSimulator(netlist, fault_list)
+    return SerialFaultSimulator(netlist, fault_list)

@@ -1,0 +1,257 @@
+"""PPSFP runners over a compiled kernel.
+
+:class:`CompiledSimulator` mirrors
+:class:`~repro.gates.simulator.NetlistSimulator` (single pattern, all
+net values, optional fault) and :class:`CompiledFaultSimulator` mirrors
+:class:`~repro.faults.serial.SerialFaultSimulator` (whole campaigns
+with fault dropping), but both run 64 packed patterns per word
+operation.  The fault simulator reproduces the serial report
+*byte-identically*: same ``detected`` map (values and insertion
+order), same ``per_pattern`` sets, same coverage history.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.errors import SimulationError
+from ..core.signal import Logic
+from ..faults.faultlist import FaultList, build_fault_list
+from ..faults.serial import FaultSimReport
+from ..gates.netlist import Netlist
+from ..telemetry.runtime import TELEMETRY
+from .compiler import CompiledKernel, compile_netlist
+
+WORD_BITS = 64
+"""Patterns packed per word.  Python ints are arbitrary precision, but
+64 keeps every word in the fast fixed-digit regime of CPython's int
+arithmetic and matches the classic PPSFP block size."""
+
+
+def pack_patterns(inputs: Sequence[str],
+                  patterns: Sequence[Mapping[str, Logic]]
+                  ) -> Tuple[List[int], List[int]]:
+    """Pack one block of patterns into (value, care) words per input.
+
+    Bit ``i`` of each word is pattern ``patterns[i]``.  ``Z`` packs
+    like ``X`` (the kernel sees driven values only).  Raises the same
+    error as the interpreted simulator on a missing primary input.
+    """
+    iv: List[int] = []
+    ic: List[int] = []
+    for net in inputs:
+        v = 0
+        c = 0
+        for bit, pattern in enumerate(patterns):
+            try:
+                value = pattern[net]
+            except KeyError:
+                raise SimulationError(
+                    f"missing value for primary input {net!r}") from None
+            if value is Logic.ONE:
+                v |= 1 << bit
+                c |= 1 << bit
+            elif value is Logic.ZERO:
+                c |= 1 << bit
+        iv.append(v)
+        ic.append(c)
+    return iv, ic
+
+
+def _unpack_bit(v: int, c: int, bit: int) -> Logic:
+    if (c >> bit) & 1:
+        return Logic.ONE if (v >> bit) & 1 else Logic.ZERO
+    return Logic.X
+
+
+class CompiledSimulator:
+    """Drop-in levelized simulator backed by the compiled kernel.
+
+    ``evaluate`` / ``outputs`` match
+    :class:`~repro.gates.simulator.NetlistSimulator` exactly, including
+    the raw echo of primary-input values (an undriven ``Z`` input stays
+    ``Z`` in the returned net map) and single stuck-at fault injection.
+    """
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.kernel: CompiledKernel = compile_netlist(netlist)
+
+    def evaluate(self, input_values: Mapping[str, Logic],
+                 fault: Any = None) -> Dict[str, Logic]:
+        """Evaluate every net for the given primary-input values."""
+        kernel = self.kernel
+        echo: Dict[str, Logic] = {}
+        for net in kernel.inputs:
+            try:
+                value = input_values[net]
+            except KeyError:
+                raise SimulationError(
+                    f"missing value for primary input {net!r}") from None
+            if fault is not None and fault.is_stem and fault.net == net:
+                value = fault.value
+            echo[net] = value
+        iv, ic = pack_patterns(kernel.inputs, [echo])
+        if fault is None:
+            words = kernel.run_good(iv, ic)
+        else:
+            fm = [0] * kernel.site_count
+            fm[kernel.site_for(fault)] = 1
+            words = kernel.run_fault(iv, ic, fm,
+                                     1 if fault.value is Logic.ONE else 0)
+        if TELEMETRY.enabled:
+            TELEMETRY.metrics.counter("compiled.gate_evals").inc(
+                kernel.gate_count)
+        values: Dict[str, Logic] = dict(echo)
+        for index in range(len(kernel.inputs), len(kernel.nets)):
+            values[kernel.nets[index]] = _unpack_bit(
+                words[2 * index], words[2 * index + 1], 0)
+        return values
+
+    def outputs(self, input_values: Mapping[str, Logic],
+                fault: Any = None) -> Tuple[Logic, ...]:
+        """Primary-output values only, in declaration order."""
+        values = self.evaluate(input_values, fault=fault)
+        return tuple(values[net] for net in self.netlist.outputs)
+
+
+class CompiledFaultSimulator:
+    """PPSFP stuck-at fault simulation matching the serial oracle.
+
+    Each 64-pattern block runs the fault-free kernel once, then the
+    hooked kernel once per still-active fault; the detection word
+    ``(vg ^ vf) | (cg ^ cf)`` over the primary outputs marks every
+    detecting pattern of the block at once.  With ``drop_detected`` a
+    detected fault leaves the active list for all later blocks.
+    """
+
+    def __init__(self, netlist: Netlist,
+                 fault_list: Optional[FaultList] = None):
+        self.netlist = netlist
+        self.kernel: CompiledKernel = compile_netlist(netlist)
+        self.fault_list = fault_list or build_fault_list(netlist)
+        kernel = self.kernel
+        self._sites: Dict[str, Tuple[int, int]] = {}
+        for name in self.fault_list.names():
+            fault = self.fault_list.fault(name)
+            self._sites[name] = (kernel.site_for(fault),
+                                 1 if fault.value is Logic.ONE else 0)
+        self._out_pos: Tuple[int, ...] = tuple(
+            2 * index for index in kernel.output_index)
+
+    # ------------------------------------------------------------------
+
+    def run(self, patterns: Sequence[Mapping[str, Logic]],
+            drop_detected: bool = True) -> FaultSimReport:
+        """Simulate every pattern against every remaining fault.
+
+        The returned report is identical to
+        :meth:`repro.faults.serial.SerialFaultSimulator.run` on the
+        same netlist, fault list and patterns -- including the
+        insertion order of ``detected`` and the exact per-pattern sets.
+        """
+        kernel = self.kernel
+        remaining: List[str] = list(self.fault_list.names())
+        report = FaultSimReport(total_faults=len(remaining))
+        patterns = list(patterns)
+        report.per_pattern = [set() for _ in patterns]
+        fm = [0] * kernel.site_count
+        begin = time.perf_counter()
+        evals = 0
+        blocks = 0
+        last_bits: Dict[str, int] = {}
+        for start in range(0, len(patterns), WORD_BITS):
+            block = patterns[start:start + WORD_BITS]
+            width = len(block)
+            mask = (1 << width) - 1
+            iv, ic = pack_patterns(kernel.inputs, block)
+            good = kernel.run_good(iv, ic)
+            good_out = [(good[pos], good[pos + 1])
+                        for pos in self._out_pos]
+            blocks += 1
+            evals += kernel.gate_count * width
+            hits: List[Tuple[str, int]] = []
+            still: List[str] = []
+            for name in remaining:
+                site, value = self._sites[name]
+                fm[site] = mask
+                faulty = kernel.run_fault(iv, ic, fm,
+                                          mask if value else 0)
+                fm[site] = 0
+                evals += kernel.gate_count * width
+                diff = 0
+                for pos, (gv, gc) in zip(self._out_pos, good_out):
+                    diff |= (gv ^ faulty[pos]) | (gc ^ faulty[pos + 1])
+                if not diff:
+                    still.append(name)
+                    continue
+                first = (diff & -diff).bit_length() - 1
+                if drop_detected:
+                    report.per_pattern[start + first].add(name)
+                    hits.append((name, start + first))
+                else:
+                    bits = diff
+                    while bits:
+                        low = (bits & -bits).bit_length() - 1
+                        report.per_pattern[start + low].add(name)
+                        bits &= bits - 1
+                    last = diff.bit_length() - 1
+                    if name in last_bits:
+                        report.detected[name] = start + last
+                    else:
+                        hits.append((name, start + first))
+                        last_bits[name] = start + last
+                    still.append(name)
+            # Serial inserts detections pattern-major (pattern index,
+            # then fault-list order); a stable sort on the first
+            # detecting index reproduces that insertion order.
+            for name, first in sorted(hits, key=lambda item: item[1]):
+                if drop_detected:
+                    report.detected[name] = first
+                else:
+                    report.detected[name] = last_bits[name]
+            remaining = still if drop_detected else remaining
+        if TELEMETRY.enabled:
+            elapsed = time.perf_counter() - begin
+            metrics = TELEMETRY.metrics
+            metrics.counter("compiled.gate_evals").inc(evals)
+            metrics.counter("compiled.eval_seconds").inc(elapsed)
+            metrics.counter("compiled.blocks").inc(blocks)
+            if elapsed > 0:
+                metrics.gauge("compiled.gate_evals_per_second").set(
+                    evals / elapsed)
+        return report
+
+    def detects(self, pattern: Mapping[str, Logic],
+                fault_name: str) -> bool:
+        """Whether one pattern detects one fault (no dropping)."""
+        return bool(self.detecting(pattern, (fault_name,)))
+
+    def detecting(self, pattern: Mapping[str, Logic],
+                  names: Sequence[str]) -> List[str]:
+        """The subset of ``names`` detected by one pattern, in order.
+
+        This is the compiled replacement for the interpreted
+        ``detected_by`` inner loop of random-phase ATPG.
+        """
+        kernel = self.kernel
+        iv, ic = pack_patterns(kernel.inputs, [pattern])
+        good = kernel.run_good(iv, ic)
+        fm = [0] * kernel.site_count
+        hits: List[str] = []
+        evals = kernel.gate_count
+        for name in names:
+            site, value = self._sites[name]
+            fm[site] = 1
+            faulty = kernel.run_fault(iv, ic, fm, value)
+            fm[site] = 0
+            evals += kernel.gate_count
+            for pos in self._out_pos:
+                if (good[pos] ^ faulty[pos]) \
+                        | (good[pos + 1] ^ faulty[pos + 1]):
+                    hits.append(name)
+                    break
+        if TELEMETRY.enabled:
+            TELEMETRY.metrics.counter("compiled.gate_evals").inc(evals)
+        return hits

@@ -25,6 +25,7 @@ from ..gates.netlist import Netlist
 from ..gates.simulator import NetlistSimulator
 from .faultlist import FaultList, build_fault_list
 from .model import StuckAtFault
+from .serial import SerialFaultSimulator
 
 DETECTED = "detected"
 UNTESTABLE = "untestable"
@@ -165,28 +166,42 @@ class TestSet:
 def generate_test_set(netlist: Netlist,
                       fault_list: Optional[FaultList] = None,
                       random_patterns: int = 32, seed: int = 0,
-                      max_backtracks: int = 20_000) -> TestSet:
+                      max_backtracks: int = 20_000,
+                      engine: str = "event") -> TestSet:
     """Random-then-deterministic test generation with fault dropping.
 
     The classic ATPG flow: cheap random patterns first (each kept only
     if it detects something new), then PODEM for the survivors; faults
-    the search proves untestable are reported as such.
+    the search proves untestable are reported as such.  ``engine``
+    selects how candidate patterns are fault-simulated: the interpreted
+    event path or the compiled PPSFP kernel (identical hits, so the
+    generated test set is byte-identical either way); the PODEM search
+    itself is always interpreted.
     """
     fault_list = fault_list or build_fault_list(netlist)
-    simulator = NetlistSimulator(netlist)
     rng = random.Random(seed)
     test_set = TestSet()
     remaining: List[str] = list(fault_list.names())
 
-    def detected_by(pattern: Dict[str, Logic],
-                    names: Sequence[str]) -> List[str]:
-        good = simulator.outputs(pattern)
-        hits = []
-        for name in names:
-            if simulator.outputs(pattern,
-                                 fault=fault_list.fault(name)) != good:
-                hits.append(name)
-        return hits
+    # Imported lazily: repro.compiled depends on this package.
+    from ..compiled import fault_simulator_for
+    fast = fault_simulator_for(engine, netlist, fault_list)
+    if isinstance(fast, SerialFaultSimulator):
+        simulator = NetlistSimulator(netlist)
+
+        def detected_by(pattern: Dict[str, Logic],
+                        names: Sequence[str]) -> List[str]:
+            good = simulator.outputs(pattern)
+            hits = []
+            for name in names:
+                if simulator.outputs(pattern,
+                                     fault=fault_list.fault(name)) != good:
+                    hits.append(name)
+            return hits
+    else:
+        def detected_by(pattern: Dict[str, Logic],
+                        names: Sequence[str]) -> List[str]:
+            return fast.detecting(pattern, names)
 
     # Phase 1: random patterns with dropping.
     for _ in range(random_patterns):

@@ -11,8 +11,8 @@ computed from.
 
 from __future__ import annotations
 
-from typing import (Dict, FrozenSet, Iterable, Mapping, Optional, Sequence,
-                    Tuple)
+from typing import (Any, Dict, FrozenSet, Iterable, Mapping, Optional,
+                    Sequence, Tuple)
 
 from ..core.signal import Logic
 from ..estimation.parameter import TESTABILITY, ParamValue
@@ -83,7 +83,7 @@ class DetectionTable(ParamValue):
 def build_detection_table(netlist: Netlist, fault_list: FaultList,
                           input_values: Mapping[str, Logic],
                           only: Optional[Sequence[str]] = None,
-                          simulator: Optional[NetlistSimulator] = None
+                          simulator: Optional[Any] = None
                           ) -> DetectionTable:
     """Provider-side construction of a detection table.
 
@@ -91,6 +91,12 @@ def build_detection_table(netlist: Netlist, fault_list: FaultList,
     (remaining) fault; faults whose output pattern differs from the
     fault-free one are grouped by that erroneous pattern.  ``only``
     restricts the computation to the user's still-undetected faults.
+    ``simulator`` may be any object exposing
+    :meth:`~repro.gates.simulator.NetlistSimulator.outputs` -- in
+    particular a :class:`repro.compiled.CompiledSimulator`, which is
+    what :class:`~repro.faults.virtual.TestabilityServant` passes when
+    published with ``engine="compiled"``; both engines build identical
+    tables.
     """
     simulator = simulator or NetlistSimulator(netlist)
     fault_free = simulator.outputs(input_values)

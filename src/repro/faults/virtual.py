@@ -56,10 +56,21 @@ class TestabilityServant:
 
     def __init__(self, netlist: Netlist,
                  fault_list: Optional[FaultList] = None,
-                 gate_eval_cost: float = 40e-6):
+                 gate_eval_cost: float = 40e-6,
+                 engine: str = "event"):
         self.netlist = netlist
         self.faults = fault_list or build_fault_list(netlist)
-        self.simulator = NetlistSimulator(netlist)
+        self.engine = engine
+        if engine == "compiled":
+            # Imported lazily: repro.compiled depends on this package.
+            from ..compiled import CompiledSimulator
+            self.simulator = CompiledSimulator(netlist)
+        else:
+            if engine != "event":
+                raise FaultSimulationError(
+                    f"unknown engine {engine!r}; expected one of "
+                    f"('event', 'compiled')")
+            self.simulator = NetlistSimulator(netlist)
         self.gate_eval_cost = gate_eval_cost
         self.tables_served = 0
 

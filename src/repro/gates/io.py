@@ -72,7 +72,10 @@ def read_bench(text: str, name: str = "bench",
         if cell_name == "DFF":
             raise DesignError(
                 f"{name}:{line_number}: sequential DFF lines are not "
-                f"supported; model state with backplane modules")
+                f"supported: every --engine (event and compiled) "
+                f"simulates pure combinational netlists; model state "
+                f"with backplane register modules and drive sequential "
+                f"campaigns through repro.faults.sequential")
         if cell_name not in _CELL_ALIASES:
             raise DesignError(
                 f"{name}:{line_number}: unknown cell {cell_name!r}")

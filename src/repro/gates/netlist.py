@@ -47,6 +47,7 @@ class Netlist:
         self._gates: List[Gate] = []
         self._driver: Dict[str, Gate] = {}
         self._levelized: Optional[List[Gate]] = None
+        self._levelized_tuple: Optional[Tuple[Gate, ...]] = None
 
     # -- construction -------------------------------------------------------
 
@@ -78,6 +79,7 @@ class Netlist:
         self._gates.append(gate)
         self._driver[output] = gate
         self._levelized = None
+        self._levelized_tuple = None
         return gate
 
     # -- access -----------------------------------------------------------
@@ -190,8 +192,8 @@ class Netlist:
 
     def levelize(self) -> Tuple[Gate, ...]:
         """Topologically ordered gates; raises on combinational loops."""
-        if self._levelized is not None:
-            return tuple(self._levelized)
+        if self._levelized_tuple is not None:
+            return self._levelized_tuple
         order: List[Gate] = []
         level: Dict[str, int] = {net: 0 for net in self._inputs}
         remaining = list(self._gates)
@@ -218,7 +220,8 @@ class Netlist:
                     f"{names}")
             remaining = still
         self._levelized = order
-        return tuple(order)
+        self._levelized_tuple = tuple(order)
+        return self._levelized_tuple
 
     # -- physical summary ---------------------------------------------------
 

@@ -7,7 +7,8 @@ exposing ``is_stem``, ``net``, ``gate_name``, ``pin`` and ``value``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Set, Tuple
+import heapq
+from typing import Any, Dict, List, Mapping, Set, Tuple
 
 from ..core.errors import SimulationError
 from ..core.signal import Logic
@@ -120,6 +121,12 @@ class EventDrivenState:
         """Apply new input values; return the set of nets that toggled."""
         toggled: Set[str] = set()
         dirty_gates: Dict[str, Gate] = {}
+        # Level-keyed heap over the dirty set: popping the lowest-level
+        # gate first guarantees every driver settles before its readers,
+        # so each gate is evaluated at most once per wave.  The dict
+        # doubles as the membership test that keeps heap entries unique.
+        wave: List[Tuple[int, str]] = []
+        levels = self._gate_level
 
         def note_change(net: str, value: Logic) -> None:
             if self._values[net] is value:
@@ -127,18 +134,20 @@ class EventDrivenState:
             self._values[net] = value
             toggled.add(net)
             for gate in self._readers[net]:
-                dirty_gates[gate.name] = gate
+                if gate.name not in dirty_gates:
+                    dirty_gates[gate.name] = gate
+                    heapq.heappush(wave, (levels[gate.name], gate.name))
 
         for net, value in input_changes.items():
             if net not in self.netlist.inputs:
                 raise SimulationError(f"{net!r} is not a primary input")
             note_change(net, value)
 
-        while dirty_gates:
-            # Evaluate the lowest-level dirty gate first so each gate is
-            # computed at most a handful of times per wave.
-            name = min(dirty_gates, key=self._gate_level.__getitem__)
-            gate = dirty_gates.pop(name)
+        while wave:
+            _, name = heapq.heappop(wave)
+            gate = dirty_gates.pop(name, None)
+            if gate is None:  # pragma: no cover - defensive
+                continue
             pins = [self._values[source] for source in gate.inputs]
             self.evaluated_gates += 1
             note_change(gate.output, gate.cell.evaluate(*pins))

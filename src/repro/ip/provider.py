@@ -13,6 +13,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..compiled import CompiledToggleModel, resolve_engine
 from ..core.errors import IPProtectionError, RemoteError
 from ..faults.faultlist import build_fault_list
 from ..faults.virtual import TestabilityServant
@@ -239,15 +240,22 @@ class IPProvider:
                            power_enabled: bool = True,
                            power_server_cost: float = 0.0,
                            fault_collapse: str = "equivalence",
-                           obfuscate_faults: bool = False) -> str:
+                           obfuscate_faults: bool = False,
+                           engine: str = "event") -> str:
         """Author and publish the Figure 2 multiplier IP component.
 
         Builds the secret gate-level implementation, characterizes the
         three Table 1 power estimators against the provider's silicon
         reference, and binds the private servants (power, functionality,
         timing, testability) on the server.  Returns the component name.
+        ``engine`` selects the provider-side gate simulation (toggle
+        power model and detection tables): the interpreted event path
+        or the compiled kernel.
         """
         import random
+        engine = resolve_engine(engine)
+        toggle_cls = (CompiledToggleModel if engine == "compiled"
+                      else ToggleCountModel)
         netlist = array_multiplier(width, name=f"{name}-impl")
         self._netlists[name] = netlist
         prefixes, widths = ("a", "b"), (width, width)
@@ -261,7 +269,7 @@ class IPProvider:
                                          widths)
         silicon = SiliconReference(netlist, seed=self.seed)
         regression = fit_regression(silicon, training, prefixes, widths)
-        toggle = ToggleCountModel(netlist)
+        toggle = toggle_cls(netlist)
         silicon = SiliconReference(netlist, seed=self.seed)
         calibration = calibrate_toggle_model(
             toggle, silicon,
@@ -307,7 +315,7 @@ class IPProvider:
         # estimations (it is constant across scenarios), so the default
         # provider-side power compute carries no virtual cost.
         power = PowerServant(netlist, prefixes, widths,
-                             model_factory=lambda: ToggleCountModel(netlist),
+                             model_factory=lambda: toggle_cls(netlist),
                              calibration=calibration,
                              enabled=power_enabled,
                              gate_eval_cost=power_server_cost)
@@ -318,8 +326,9 @@ class IPProvider:
                          TimingServant.REMOTE_METHODS)
         fault_list = build_fault_list(netlist, collapse=fault_collapse,
                                       obfuscate=obfuscate_faults)
-        self.server.bind(f"{name}.test", TestabilityServant(netlist,
-                                                            fault_list),
+        self.server.bind(f"{name}.test",
+                         TestabilityServant(netlist, fault_list,
+                                            engine=engine),
                          TestabilityServant.REMOTE_METHODS)
         return name
 

@@ -6,10 +6,14 @@ one independent faulty simulation per (fault, pattern) pair -- across a
 results back deterministically:
 
 * :func:`parallel_fault_simulate` shards a
-  :class:`~repro.faults.faultlist.FaultList` and runs
-  :class:`~repro.faults.serial.SerialFaultSimulator` per shard; the
-  merged :class:`~repro.faults.serial.FaultSimReport` is identical to
-  the serial run's (same detected map, same per-pattern history).
+  :class:`~repro.faults.faultlist.FaultList` and runs a serial-
+  semantics simulator per shard -- the interpreted
+  :class:`~repro.faults.serial.SerialFaultSimulator` or, with
+  ``engine="compiled"``, the pattern-packed
+  :class:`~repro.compiled.CompiledFaultSimulator`; the merged
+  :class:`~repro.faults.serial.FaultSimReport` is identical to the
+  serial run's (same detected map, same per-pattern history) either
+  way.
 * :func:`parallel_generate_test_set` shards ATPG the same way; the
   merged :class:`~repro.faults.atpg.TestSet` covers the same faults but
   may carry more patterns than a serial run (each shard generates its
@@ -26,10 +30,11 @@ from __future__ import annotations
 
 from typing import Callable, Mapping, Optional, Sequence
 
+from ..compiled import fault_simulator_for, resolve_engine
 from ..core.signal import Logic
 from ..faults.atpg import TestSet, generate_test_set
 from ..faults.faultlist import FaultList, build_fault_list
-from ..faults.serial import FaultSimReport, SerialFaultSimulator
+from ..faults.serial import FaultSimReport
 from ..gates.netlist import Netlist
 from ..telemetry.runtime import TELEMETRY
 from .merge import merge_reports, merge_test_sets
@@ -38,9 +43,9 @@ from .sharding import default_shard_count, shard_fault_list
 
 
 def _simulate_fault_shard(payload) -> FaultSimReport:
-    """Worker task: serially fault-simulate one shard of the list."""
-    netlist, fault_list, patterns, drop_detected = payload
-    simulator = SerialFaultSimulator(netlist, fault_list)
+    """Worker task: fault-simulate one shard with the chosen engine."""
+    netlist, fault_list, patterns, drop_detected, engine = payload
+    simulator = fault_simulator_for(engine, netlist, fault_list)
     return simulator.run(patterns, drop_detected=drop_detected)
 
 
@@ -52,8 +57,8 @@ def parallel_fault_simulate(netlist: Netlist,
                             weight_of: Optional[Callable[[str], float]]
                             = None,
                             drop_detected: bool = True,
-                            pool: Optional[WorkerPool] = None
-                            ) -> FaultSimReport:
+                            pool: Optional[WorkerPool] = None,
+                            engine: str = "event") -> FaultSimReport:
     """Fault-simulate ``patterns`` with the fault list sharded over workers.
 
     ``workers`` follows the CLI convention (``None``/``0`` = one per
@@ -61,20 +66,23 @@ def parallel_fault_simulate(netlist: Netlist,
     code path.  ``shards`` defaults to several chunks per worker so the
     pool's queue keeps every worker busy until the end; ``weight_of``
     switches round-robin sharding to cost-weighted balancing.
+    ``engine`` selects the per-shard simulator (interpreted event path
+    or the compiled PPSFP kernel); both merge to identical reports.
     """
+    engine = resolve_engine(engine)
     fault_list = fault_list or build_fault_list(netlist)
     worker_count = pool.workers if pool is not None \
         else resolve_workers(workers)
     patterns = list(patterns)
     if worker_count <= 1 or len(fault_list) <= 1:
-        return SerialFaultSimulator(netlist, fault_list).run(
+        return fault_simulator_for(engine, netlist, fault_list).run(
             patterns, drop_detected=drop_detected)
     count = shards or default_shard_count(worker_count, len(fault_list))
     parts = shard_fault_list(fault_list, count, weight_of=weight_of)
     if TELEMETRY.enabled:
         TELEMETRY.metrics.counter("parallel.shards").inc(len(parts))
     payloads = [(netlist, fault_list.subset(part.names), patterns,
-                 drop_detected) for part in parts]
+                 drop_detected, engine) for part in parts]
     pool = pool or WorkerPool(worker_count)
     outcomes = pool.map(_simulate_fault_shard, payloads)
     return merge_reports([outcome.value for outcome in outcomes])
@@ -82,10 +90,11 @@ def parallel_fault_simulate(netlist: Netlist,
 
 def _generate_shard_tests(payload) -> TestSet:
     """Worker task: random-then-deterministic ATPG over one shard."""
-    netlist, fault_list, random_patterns, seed, max_backtracks = payload
+    netlist, fault_list, random_patterns, seed, max_backtracks, engine \
+        = payload
     return generate_test_set(netlist, fault_list,
                              random_patterns=random_patterns, seed=seed,
-                             max_backtracks=max_backtracks)
+                             max_backtracks=max_backtracks, engine=engine)
 
 
 def parallel_generate_test_set(netlist: Netlist,
@@ -94,27 +103,29 @@ def parallel_generate_test_set(netlist: Netlist,
                                shards: Optional[int] = None,
                                random_patterns: int = 32, seed: int = 0,
                                max_backtracks: int = 20_000,
-                               pool: Optional[WorkerPool] = None
-                               ) -> TestSet:
+                               pool: Optional[WorkerPool] = None,
+                               engine: str = "event") -> TestSet:
     """Generate a stuck-at test set with the fault list sharded over workers.
 
     Every shard runs the full random-then-PODEM flow against its own
     faults; see :func:`repro.parallel.merge.merge_test_sets` for the
     merge semantics (union coverage, possibly more patterns).
     """
+    engine = resolve_engine(engine)
     fault_list = fault_list or build_fault_list(netlist)
     worker_count = pool.workers if pool is not None \
         else resolve_workers(workers)
     if worker_count <= 1 or len(fault_list) <= 1:
         return generate_test_set(netlist, fault_list,
                                  random_patterns=random_patterns,
-                                 seed=seed, max_backtracks=max_backtracks)
+                                 seed=seed, max_backtracks=max_backtracks,
+                                 engine=engine)
     count = shards or default_shard_count(worker_count, len(fault_list))
     parts = shard_fault_list(fault_list, count)
     if TELEMETRY.enabled:
         TELEMETRY.metrics.counter("parallel.shards").inc(len(parts))
     payloads = [(netlist, fault_list.subset(part.names), random_patterns,
-                 seed, max_backtracks) for part in parts]
+                 seed, max_backtracks, engine) for part in parts]
     pool = pool or WorkerPool(worker_count)
     outcomes = pool.map(_generate_shard_tests, payloads)
     return merge_test_sets([outcome.value for outcome in outcomes])

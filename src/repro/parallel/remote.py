@@ -11,8 +11,9 @@ remote-farm runs of one campaign produce byte-identical reports.
 
 The wire shape is built around BATCH frames, not per-call round trips:
 
-* ``begin_shard`` (oneway) names the bench, the collapse mode and the
-  shard's fault subset;
+* ``begin_shard`` (oneway) names the bench, the collapse mode, the
+  shard's fault subset and the gate-simulation engine (event or
+  compiled) the servant must run;
 * ``add_patterns`` (oneway, chunked) streams the pattern set;
 * ``collect_report`` (blocking) runs the simulation and answers with
   the marshalled report plus the worker's telemetry snapshot.
@@ -50,7 +51,8 @@ from typing import (Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple,
 
 from ..core.errors import ParallelExecutionError
 from ..faults.faultlist import FaultList, build_fault_list
-from ..faults.serial import FaultSimReport, SerialFaultSimulator
+from ..compiled import fault_simulator_for, resolve_engine
+from ..faults.serial import FaultSimReport
 from ..gates.netlist import Netlist
 from ..rmi.server import JavaCADServer
 from ..rmi.stub import RemoteStub
@@ -160,13 +162,15 @@ class FaultFarmServant:
 
     def begin_shard(self, task_id: str, bench: str, collapse: str,
                     fault_names: Sequence[str],
-                    drop_detected: bool = True) -> bool:
+                    drop_detected: bool = True,
+                    engine: str = "event") -> bool:
         with self._lock:
             self._shards[task_id] = {
                 "bench": str(bench),
                 "collapse": str(collapse),
                 "fault_names": tuple(fault_names),
                 "drop_detected": bool(drop_detected),
+                "engine": resolve_engine(str(engine)),
                 "patterns": [],
             }
         return True
@@ -202,7 +206,8 @@ class FaultFarmServant:
             netlist, fault_list = self._built_for(shard["bench"],
                                                   shard["collapse"])
             shard_list = fault_list.subset(shard["fault_names"])
-            simulator = SerialFaultSimulator(netlist, shard_list)
+            simulator = fault_simulator_for(shard["engine"], netlist,
+                                            shard_list)
             report = simulator.run(shard["patterns"],
                                    drop_detected=shard["drop_detected"])
         finally:
@@ -268,6 +273,7 @@ class RemoteShard:
     fault_names: Tuple[str, ...]
     patterns: Tuple[Mapping[str, Any], ...]
     drop_detected: bool = True
+    engine: str = "event"
 
 
 class _Endpoint:
@@ -519,7 +525,7 @@ class RemoteWorkerPool:
         stub = endpoint.stub
         stub.invoke_oneway("begin_shard", task_id, shard.bench,
                            shard.collapse, list(shard.fault_names),
-                           shard.drop_detected)
+                           shard.drop_detected, shard.engine)
         patterns = list(shard.patterns)
         step = self.patterns_per_call
         for start in range(0, len(patterns), step):
@@ -586,8 +592,8 @@ def remote_fault_simulate(bench: str,
                           workers: Optional[int] = None,
                           shards: Optional[int] = None,
                           drop_detected: bool = True,
-                          pool: Optional[RemoteWorkerPool] = None
-                          ) -> FaultSimReport:
+                          pool: Optional[RemoteWorkerPool] = None,
+                          engine: str = "event") -> FaultSimReport:
     """Fault-simulate ``bench`` across a farm of remote workers.
 
     The client only needs the bench's *name* and fault names; both
@@ -597,6 +603,7 @@ def remote_fault_simulate(bench: str,
     cuts :func:`default_shard_count` shards for one worker per
     endpoint.  The merged report is byte-identical to a serial run.
     """
+    engine = resolve_engine(engine)
     if pool is None:
         pool = RemoteWorkerPool(endpoints)
     if netlist is None:
@@ -606,14 +613,14 @@ def remote_fault_simulate(bench: str,
     patterns = [dict(pattern) for pattern in patterns]
     if len(fault_list) <= 1:
         # Nothing to shard; keep the exact serial code path.
-        return SerialFaultSimulator(netlist, fault_list).run(
+        return fault_simulator_for(engine, netlist, fault_list).run(
             patterns, drop_detected=drop_detected)
     effective = workers if workers and workers > 0 else pool.workers
     effective = max(effective, pool.workers)
     count = shards or default_shard_count(effective, len(fault_list))
     parts = shard_fault_list(fault_list, count)
     tasks = [RemoteShard(bench, collapse, part.names, tuple(patterns),
-                         drop_detected)
+                         drop_detected, engine)
              for part in parts]
     outcomes = pool.map(tasks)
     return merge_reports([outcome.value for outcome in outcomes])

@@ -50,6 +50,7 @@ class ScenarioSpec:
     power_enabled: bool = True
     nonblocking: bool = False
     collect_powers: bool = False
+    engine: str = "event"
 
 
 def reset_session_state() -> None:
@@ -91,7 +92,8 @@ def _run_scenario_task(spec: ScenarioSpec) -> ScenarioResult:
                         buffer_size=spec.buffer_size,
                         power_enabled=spec.power_enabled,
                         collect_powers=spec.collect_powers,
-                        nonblocking=spec.nonblocking)
+                        nonblocking=spec.nonblocking,
+                        engine=spec.engine)
 
 
 def _run_scenario_task_isolated(spec: ScenarioSpec) -> ScenarioResult:
@@ -125,22 +127,25 @@ def run_scenarios_parallel(specs: Sequence[ScenarioSpec],
 
 def table2_specs(width: int = DEFAULT_WIDTH,
                  patterns: int = DEFAULT_PATTERNS,
-                 buffer_size: int = DEFAULT_BUFFER) -> List[ScenarioSpec]:
+                 buffer_size: int = DEFAULT_BUFFER,
+                 engine: str = "event") -> List[ScenarioSpec]:
     """The seven Table 2 rows as specs, in the paper's order."""
-    specs = [ScenarioSpec("AL", "localhost", width, patterns, buffer_size)]
+    specs = [ScenarioSpec("AL", "localhost", width, patterns, buffer_size,
+                          engine=engine)]
     for network in ("localhost", "lan", "wan"):
         specs.append(ScenarioSpec("ER", network, width, patterns,
-                                  buffer_size))
+                                  buffer_size, engine=engine))
         specs.append(ScenarioSpec("MR", network, width, patterns,
-                                  buffer_size))
+                                  buffer_size, engine=engine))
     return specs
 
 
 def run_table2_parallel(width: int = DEFAULT_WIDTH,
                         patterns: int = DEFAULT_PATTERNS,
                         buffer_size: int = DEFAULT_BUFFER,
-                        workers: Optional[int] = None
-                        ) -> List[ScenarioResult]:
+                        workers: Optional[int] = None,
+                        engine: str = "event") -> List[ScenarioResult]:
     """All Table 2 rows, fanned out across workers, in paper order."""
     return run_scenarios_parallel(
-        table2_specs(width, patterns, buffer_size), workers=workers)
+        table2_specs(width, patterns, buffer_size, engine=engine),
+        workers=workers)

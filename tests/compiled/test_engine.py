@@ -1,0 +1,82 @@
+"""Engine selection plumbing: resolve, dispatch, ATPG and servant."""
+
+import pytest
+
+from repro.compiled import (CompiledFaultSimulator, fault_simulator_for,
+                            resolve_engine)
+from repro.core.errors import FaultSimulationError
+from repro.core.signal import Logic
+from repro.faults.atpg import generate_test_set
+from repro.faults.detection import build_detection_table
+from repro.faults.faultlist import build_fault_list
+from repro.faults.serial import SerialFaultSimulator
+from repro.faults.virtual import TestabilityServant
+from repro.gates.generators import ip1_block
+from repro.parallel.remote import resolve_bench
+
+
+class TestResolution:
+    def test_none_means_event(self):
+        assert resolve_engine(None) == "event"
+
+    def test_known_engines_pass_through(self):
+        assert resolve_engine("event") == "event"
+        assert resolve_engine("compiled") == "compiled"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(FaultSimulationError, match="unknown engine"):
+            resolve_engine("jit")
+
+    def test_dispatch_types(self):
+        netlist = resolve_bench("figure4")
+        assert isinstance(fault_simulator_for("event", netlist),
+                          SerialFaultSimulator)
+        assert isinstance(fault_simulator_for("compiled", netlist),
+                          CompiledFaultSimulator)
+        assert isinstance(fault_simulator_for(None, netlist),
+                          SerialFaultSimulator)
+
+
+class TestAtpgParity:
+    def test_test_sets_byte_identical(self):
+        netlist = resolve_bench("figure4")
+        fault_list = build_fault_list(netlist)
+        event = generate_test_set(netlist, fault_list, random_patterns=16,
+                                  seed=2, engine="event")
+        compiled = generate_test_set(netlist, fault_list,
+                                     random_patterns=16, seed=2,
+                                     engine="compiled")
+        assert compiled.patterns == event.patterns
+        assert compiled.detected == event.detected
+        assert list(compiled.detected) == list(event.detected)
+        assert compiled.untestable == event.untestable
+        assert compiled.aborted == event.aborted
+
+
+class TestServantEngine:
+    def test_detection_tables_identical(self):
+        netlist = ip1_block()
+        fault_list = build_fault_list(netlist)
+        event = TestabilityServant(netlist, fault_list)
+        compiled = TestabilityServant(netlist, fault_list,
+                                      engine="compiled")
+        undetected = fault_list.names()
+        bits = [Logic.ONE if i % 2 else Logic.ZERO
+                for i in range(len(netlist.inputs))]
+        assert compiled.detection_table(bits, undetected) \
+            == event.detection_table(bits, undetected)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(FaultSimulationError, match="unknown engine"):
+            TestabilityServant(ip1_block(), engine="jit")
+
+    def test_detection_table_accepts_compiled_simulator(self):
+        netlist = ip1_block()
+        fault_list = build_fault_list(netlist)
+        servant = TestabilityServant(netlist, fault_list,
+                                     engine="compiled")
+        inputs = {net: Logic.ZERO for net in netlist.inputs}
+        table = build_detection_table(netlist, fault_list, inputs,
+                                      simulator=servant.simulator)
+        reference = build_detection_table(netlist, fault_list, inputs)
+        assert table == reference

@@ -1,0 +1,74 @@
+"""CompiledToggleModel parity with the event-driven toggle model."""
+
+import random
+
+import pytest
+
+from repro.compiled import CompiledToggleModel
+from repro.core.errors import SimulationError
+from repro.core.signal import Logic
+from repro.gates.generators import array_multiplier, random_netlist
+from repro.power.toggle import ToggleCountModel
+
+
+def binary_patterns(netlist, count, seed=0):
+    rng = random.Random(seed)
+    return [{net: Logic(rng.getrandbits(1)) for net in netlist.inputs}
+            for _ in range(count)]
+
+
+class TestEnergyParity:
+    @pytest.mark.parametrize("netlist", [
+        array_multiplier(3), random_netlist(6, 30, 3, seed=7)],
+        ids=["mult3", "random"])
+    def test_pattern_energies_match(self, netlist):
+        event = ToggleCountModel(netlist)
+        compiled = CompiledToggleModel(netlist)
+        for pattern in binary_patterns(netlist, 30):
+            expected = event.energy_of_pattern(pattern)
+            actual = compiled.energy_of_pattern(pattern)
+            assert actual == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    def test_power_of_sequence_matches(self):
+        netlist = array_multiplier(4)
+        patterns = binary_patterns(netlist, 20, seed=3)
+        expected = ToggleCountModel(netlist).power_of_sequence(patterns)
+        actual = CompiledToggleModel(netlist).power_of_sequence(patterns)
+        assert actual == pytest.approx(expected, rel=1e-9)
+
+
+class TestModelSurface:
+    def test_repeated_pattern_costs_nothing(self):
+        netlist = array_multiplier(3)
+        model = CompiledToggleModel(netlist)
+        pattern = binary_patterns(netlist, 1, seed=9)[0]
+        model.energy_of_pattern(pattern)
+        assert model.energy_of_pattern(pattern) == 0.0
+
+    def test_reset_restarts_from_zero_settle(self):
+        netlist = array_multiplier(3)
+        model = CompiledToggleModel(netlist)
+        pattern = binary_patterns(netlist, 1, seed=11)[0]
+        first = model.energy_of_pattern(pattern)
+        model.reset()
+        assert model.energy_of_pattern(pattern) == first
+
+    def test_non_input_rejected(self):
+        netlist = array_multiplier(3)
+        model = CompiledToggleModel(netlist)
+        with pytest.raises(SimulationError, match="not a primary input"):
+            model.energy_of_pattern({"no-such-net": Logic.ONE})
+
+    def test_evaluated_gates_counts_full_kernel_runs(self):
+        netlist = array_multiplier(3)
+        model = CompiledToggleModel(netlist)
+        assert model.evaluated_gates == 0
+        patterns = binary_patterns(netlist, 5, seed=13)
+        for pattern in patterns:
+            model.energy_of_pattern(pattern)
+        # One settle plus at most one evaluation per applied pattern,
+        # each a full-netlist kernel run.
+        assert model.evaluated_gates % netlist.gate_count() == 0
+        assert model.evaluated_gates \
+            <= (len(patterns) + 1) * netlist.gate_count()
+        assert model.evaluated_gates >= 2 * netlist.gate_count()

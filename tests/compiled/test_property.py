@@ -1,0 +1,92 @@
+"""Property test: the compiled kernel vs the interpreted simulator.
+
+Random acyclic netlists from :func:`repro.gates.generators.random_netlist`
+(every cell type, fanout, reconvergence), random four-valued input
+patterns (including ``Logic.X`` and ``Logic.Z``), and every collapsed
+stem/branch fault: :class:`CompiledSimulator` must agree with
+:class:`NetlistSimulator` on every net, and
+:class:`CompiledFaultSimulator` must reproduce the serial campaign
+report exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.compiled import CompiledFaultSimulator, CompiledSimulator
+from repro.core.signal import Logic
+from repro.faults.faultlist import build_fault_list
+from repro.faults.serial import SerialFaultSimulator
+from repro.gates.generators import random_netlist
+from repro.gates.simulator import NetlistSimulator
+
+SHAPES = [
+    (2, 6, 1),    # tiny: every net observable
+    (4, 20, 3),   # medium fanout
+    (6, 45, 4),   # wide, reconvergent
+    (3, 30, 2),   # deep and narrow
+]
+
+FOUR_VALUES = (Logic.ZERO, Logic.ONE, Logic.X, Logic.Z)
+
+
+def three_valued_patterns(netlist, count, rng):
+    """Mostly binary patterns with a sprinkling of X/Z inputs."""
+    patterns = []
+    for _ in range(count):
+        pattern = {}
+        for net in netlist.inputs:
+            if rng.random() < 0.2:
+                pattern[net] = rng.choice(FOUR_VALUES)
+            else:
+                pattern[net] = Logic(rng.getrandbits(1))
+        patterns.append(pattern)
+    return patterns
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_fault_free_evaluation_matches(seed):
+    shape = SHAPES[seed % len(SHAPES)]
+    netlist = random_netlist(*shape, seed=seed)
+    rng = random.Random(seed + 100)
+    interpreted = NetlistSimulator(netlist)
+    compiled = CompiledSimulator(netlist)
+    for pattern in three_valued_patterns(netlist, 25, rng):
+        assert compiled.evaluate(pattern) \
+            == interpreted.evaluate(pattern), (shape, seed, pattern)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_faulty_evaluation_matches(seed):
+    shape = SHAPES[seed % len(SHAPES)]
+    netlist = random_netlist(*shape, seed=seed + 40)
+    fault_list = build_fault_list(netlist, collapse="none")
+    rng = random.Random(seed + 200)
+    interpreted = NetlistSimulator(netlist)
+    compiled = CompiledSimulator(netlist)
+    patterns = three_valued_patterns(netlist, 6, rng)
+    for name in fault_list.names():
+        fault = fault_list.fault(name)
+        for pattern in patterns:
+            assert compiled.evaluate(pattern, fault=fault) \
+                == interpreted.evaluate(pattern, fault=fault), \
+                (shape, seed, name, pattern)
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("drop", [True, False])
+def test_campaign_report_matches_serial(seed, drop):
+    shape = SHAPES[seed % len(SHAPES)]
+    netlist = random_netlist(*shape, seed=seed + 80)
+    fault_list = build_fault_list(netlist)
+    rng = random.Random(seed + 300)
+    patterns = three_valued_patterns(netlist, 40, rng)
+    serial = SerialFaultSimulator(netlist, fault_list).run(
+        patterns, drop_detected=drop)
+    compiled = CompiledFaultSimulator(netlist, fault_list).run(
+        patterns, drop_detected=drop)
+    assert compiled.total_faults == serial.total_faults
+    assert compiled.detected == serial.detected
+    assert list(compiled.detected) == list(serial.detected)
+    assert compiled.per_pattern == serial.per_pattern
+    assert compiled.coverage_history() == serial.coverage_history()

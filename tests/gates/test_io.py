@@ -77,6 +77,17 @@ class TestParsing:
         with pytest.raises(DesignError, match="DFF"):
             read_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n")
 
+    def test_dff_rejection_names_engines_and_escape_hatch(self):
+        # The message must state that the limitation is engine-wide
+        # (both --engine choices are combinational) and point at the
+        # sequential campaign path.
+        with pytest.raises(DesignError) as excinfo:
+            read_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n")
+        message = str(excinfo.value)
+        assert "--engine" in message
+        assert "event and compiled" in message
+        assert "repro.faults.sequential" in message
+
     def test_unknown_cell_rejected(self):
         with pytest.raises(DesignError, match="unknown cell"):
             read_bench("INPUT(a)\nOUTPUT(o)\no = MAJ(a, a, a)\n")

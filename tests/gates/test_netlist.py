@@ -89,6 +89,19 @@ class TestTopology:
                     driver = netlist.driver_of(source)
                     assert position[driver.name] < position[gate.name]
 
+    def test_levelize_result_is_cached(self):
+        netlist = ripple_carry_adder(4)
+        first = netlist.levelize()
+        assert netlist.levelize() is first
+
+    def test_add_gate_invalidates_levelize_cache(self):
+        netlist = ripple_carry_adder(2)
+        first = netlist.levelize()
+        netlist.add_gate("NOT", [netlist.inputs[0]], "extra")
+        second = netlist.levelize()
+        assert second is not first
+        assert len(second) == len(first) + 1
+
     def test_driver_of(self):
         netlist = tiny()
         assert netlist.driver_of("n1").name == "g1"

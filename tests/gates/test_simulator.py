@@ -113,6 +113,23 @@ class TestEventDriven:
         with pytest.raises(SimulationError):
             state.apply({"o": Logic.ONE})
 
+    def test_wave_evaluates_reconvergent_gate_once(self):
+        # Diamond: a feeds two NOTs that reconverge on one AND.  The
+        # level-ordered wave must evaluate the AND exactly once per
+        # applied stimulus even though both its inputs go dirty.
+        netlist = Netlist("diamond")
+        netlist.add_input("a")
+        netlist.add_output("o")
+        netlist.add_gate("NOT", ["a"], "n1")
+        netlist.add_gate("NOT", ["a"], "n2")
+        netlist.add_gate("AND", ["n1", "n2"], "o")
+        netlist.validate()
+        state = EventDrivenState(NetlistSimulator(netlist))
+        state.apply({"a": Logic.ZERO})
+        before = state.evaluated_gates
+        state.apply({"a": Logic.ONE})
+        assert state.evaluated_gates - before == 3
+
     @settings(max_examples=30, deadline=None)
     @given(seed=st.integers(0, 10_000),
            stimulus=st.lists(st.integers(0, 2**6 - 1), min_size=1,
