@@ -1,0 +1,91 @@
+"""Corpus-scale fault-simulation: event vs compiled, serial vs sharded.
+
+Runs one ISCAS-class corpus bench (``REPRO_CORPUS_BENCH``, default
+``alu8``) through the serial event engine, the compiled PPSFP kernel
+and the four-worker sharded runner on the compiled engine, asserts all
+reports are byte-identical, and persists the headline numbers as
+``BENCH_corpus_faultsim.json``.
+
+``REPRO_CORPUS_BENCH=mult16`` exercises the four-digit-gate c6288
+class; the default keeps the suite quick enough for every checkout.
+"""
+
+import os
+import random
+import time
+
+from repro.bench import write_bench_report
+from repro.compiled import WORD_BITS, CompiledFaultSimulator, \
+    clear_kernel_cache
+from repro.core import Logic
+from repro.faults import SerialFaultSimulator, build_fault_list
+from repro.gates.corpus import load_bench
+from repro.parallel import diff_reports, parallel_fault_simulate
+
+BENCH = os.environ.get("REPRO_CORPUS_BENCH", "alu8")
+PATTERNS = int(os.environ.get("REPRO_COMPILED_PATTERNS", str(WORD_BITS)))
+
+
+def _campaigns():
+    netlist = load_bench(BENCH)
+    fault_list = build_fault_list(netlist)
+    rng = random.Random(0)
+    patterns = [{net: Logic(rng.getrandbits(1))
+                 for net in netlist.inputs}
+                for _ in range(PATTERNS)]
+
+    begin = time.perf_counter()
+    serial = SerialFaultSimulator(netlist, fault_list).run(patterns)
+    serial_wall = time.perf_counter() - begin
+
+    clear_kernel_cache()
+    begin = time.perf_counter()
+    compiled = CompiledFaultSimulator(netlist, fault_list).run(patterns)
+    compiled_wall = time.perf_counter() - begin
+
+    begin = time.perf_counter()
+    sharded = parallel_fault_simulate(netlist, patterns,
+                                      fault_list=fault_list,
+                                      workers=4, engine="compiled")
+    sharded_wall = time.perf_counter() - begin
+    return (netlist, fault_list, serial, serial_wall, compiled,
+            compiled_wall, sharded, sharded_wall)
+
+
+def test_corpus_faultsim(benchmark):
+    (netlist, fault_list, serial, serial_wall, compiled, compiled_wall,
+     sharded, sharded_wall) = benchmark.pedantic(_campaigns, rounds=1,
+                                                 iterations=1)
+
+    assert diff_reports(serial, compiled) == []
+    assert compiled.detected == serial.detected
+    assert list(compiled.detected) == list(serial.detected)
+    assert compiled.per_pattern == serial.per_pattern
+    # Sharded merge restores pattern-major detection, so the 4-worker
+    # compiled report matches the serial event report exactly too.
+    assert diff_reports(serial, sharded) == []
+
+    speedup = serial_wall / compiled_wall if compiled_wall else 0.0
+    print()
+    print(f"{BENCH}: {netlist.gate_count()} gates, "
+          f"{len(fault_list)} faults, {PATTERNS} patterns")
+    print(f"serial (event)       {serial_wall:.3f}s")
+    print(f"compiled (PPSFP)     {compiled_wall:.3f}s "
+          f"-> speedup {speedup:.1f}x")
+    print(f"compiled, 4 workers  {sharded_wall:.3f}s")
+
+    path = write_bench_report("corpus_faultsim", {
+        "bench": BENCH,
+        "gates": netlist.gate_count(),
+        "faults": len(fault_list),
+        "patterns": PATTERNS,
+        "word_bits": WORD_BITS,
+        "serial_wall_seconds": round(serial_wall, 4),
+        "compiled_wall_seconds": round(compiled_wall, 4),
+        "sharded_wall_seconds": round(sharded_wall, 4),
+        "speedup": round(speedup, 3),
+        "coverage": serial.coverage,
+        "detected": serial.detected_count,
+        "report_identical": True,
+    })
+    print(f"bench report written to {path}")

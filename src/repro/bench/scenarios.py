@@ -223,6 +223,159 @@ def run_table2(width: int = DEFAULT_WIDTH, patterns: int = DEFAULT_PATTERNS,
     return rows
 
 
+@lru_cache(maxsize=16)
+def shared_bench_provider(bench: str,
+                          engine: str = "event") -> IPProvider:
+    """A memoized provider publishing one corpus bench as IP.
+
+    Publishing builds the netlist and its fault list, which is expensive
+    for the four-digit-gate corpus entries; benchmarks and the CLI reuse
+    one provider per (bench, engine) pair.
+    """
+    provider = IPProvider("provider.host.name")
+    provider.publish_bench(bench, engine=engine)
+    return provider
+
+
+def run_corpus_scenario(mode: str, bench: str,
+                        network: NetworkModel = LOCALHOST,
+                        patterns: int = DEFAULT_PATTERNS,
+                        buffer_size: int = DEFAULT_BUFFER,
+                        engine: str = "event", seed: int = 0,
+                        cost_model: Optional[CostModel] = None
+                        ) -> ScenarioResult:
+    """One Table 2 cell over a corpus bench instead of Figure 2.
+
+    The workload is a pattern-push loop at the flip-flop boundary: every
+    cycle applies one random primary-input vector, evaluates the
+    combinational core (locally in AL/ER, remotely in MR), threads the
+    register state client-side for sequential benches, and estimates
+    accurate per-pattern power -- locally in AL, on the provider with
+    client-side pattern buffering in ER (non-blocking ``power_buffer``),
+    and with server-side marking in MR (``mark_bits`` piggybacking on
+    the blocking ``evaluate`` round trips).
+    """
+    import random
+
+    from ..compiled import CompiledSimulator, resolve_engine
+    from ..core.signal import Logic
+    from ..gates.corpus import load_bench
+    from ..gates.io import SequentialBench
+    from ..gates.simulator import NetlistSimulator
+    from ..ip.provider import BenchFunctionalServant, BitPowerServant
+    from ..power.toggle import ToggleCountModel
+
+    if mode not in SCENARIOS:
+        raise DesignError(f"unknown scenario {mode!r}")
+    engine = resolve_engine(engine)
+    loaded = load_bench(bench)
+    sequential = isinstance(loaded, SequentialBench)
+    core = loaded.core if sequential else loaded
+    primary_inputs = (loaded.primary_inputs if sequential
+                      else tuple(core.inputs))
+    registers = dict(loaded.registers) if sequential else {}
+
+    cost = cost_model or CostModel()
+    clock = VirtualClock()
+    rng = random.Random(seed)
+
+    connection: Optional[ProviderConnection] = None
+    power_stub = module_stub = None
+    session = None
+    if mode != "AL":
+        provider = shared_bench_provider(bench, engine)
+        connection = ProviderConnection(provider, network, clock=clock,
+                                        cost_model=cost)
+        session = connection.session
+        power_stub = connection.stub(f"{bench}.power",
+                                     BitPowerServant.REMOTE_METHODS)
+        if mode == "MR":
+            module_stub = connection.stub(
+                f"{bench}.module",
+                BenchFunctionalServant.REMOTE_METHODS)
+
+    local_simulator = None
+    if mode != "MR":
+        local_simulator = (CompiledSimulator(core)
+                           if engine == "compiled"
+                           else NetlistSimulator(core))
+    local_power = ToggleCountModel(core) if mode == "AL" else None
+
+    # Client-side register state: core output position of each d net.
+    state = {q: 0 for q in registers}
+    output_position = {net: index
+                       for index, net in enumerate(core.outputs)}
+    d_position = {q: output_position[d] for q, d in registers.items()}
+    eval_cost = cost.event_dispatch + cost.gate_eval * core.gate_count()
+
+    buffered: List[List[int]] = []
+    events = 0
+    for _ in range(patterns):
+        stimulus = {net: rng.getrandbits(1) for net in primary_inputs}
+        vector = [stimulus[net] if net in stimulus else state[net]
+                  for net in core.inputs]
+        events += 1
+        if mode == "MR":
+            output_bits = module_stub.evaluate(vector)
+            power_stub.invoke_oneway("mark_bits", session, vector)
+        else:
+            inputs = {net: Logic(bit)
+                      for net, bit in zip(core.inputs, vector)}
+            output_bits = [int(value)
+                           for value in local_simulator.outputs(inputs)]
+            clock.charge_cpu(eval_cost)
+            if mode == "AL":
+                # Local accurate PPP; like the paper's Table 2 the
+                # estimation compute itself is excluded from timing.
+                local_power.power_of_pattern(inputs)
+            else:
+                buffered.append(vector)
+                if len(buffered) >= buffer_size:
+                    power_stub.invoke_oneway("power_buffer", session,
+                                             list(buffered))
+                    buffered.clear()
+        if sequential:
+            state = {q: output_bits[position]
+                     for q, position in d_position.items()}
+    if mode == "ER" and buffered:
+        power_stub.invoke_oneway("power_buffer", session, list(buffered))
+        buffered.clear()
+
+    powers: Optional[List[float]] = None
+    if mode != "AL":
+        connection.flush()
+        powers = power_stub.fetch_results(session)
+    clock.sync()
+
+    calls = connection.transport.stats.calls if connection else 0
+    wire = (connection.base_transport.stats.bytes_sent
+            + connection.base_transport.stats.bytes_received) \
+        if connection else 0
+    return ScenarioResult(
+        scenario=mode, host=network.name if mode != "AL" else "NA",
+        cpu=clock.cpu, real=clock.wall, events=events,
+        remote_calls=calls, remote_bytes=wire, powers=powers,
+        round_trips=connection.round_trips if connection else 0)
+
+
+def run_corpus_table2(bench: str, patterns: int = DEFAULT_PATTERNS,
+                      buffer_size: int = DEFAULT_BUFFER,
+                      engine: str = "event",
+                      seed: int = 0) -> List[ScenarioResult]:
+    """All seven Table 2 rows over a corpus bench, in paper order."""
+    rows = [run_corpus_scenario("AL", bench, LOCALHOST, patterns,
+                                buffer_size, engine=engine, seed=seed)]
+    for network in (LOCALHOST, LAN, WAN):
+        rows.append(run_corpus_scenario("ER", bench, network, patterns,
+                                        buffer_size, engine=engine,
+                                        seed=seed))
+        rows.append(run_corpus_scenario("MR", bench, network, patterns,
+                                        buffer_size, engine=engine,
+                                        seed=seed))
+    # Paper order: AL, ER/MR local, ER/MR LAN, ER/MR WAN.
+    return rows
+
+
 def run_buffer_sweep(buffer_percents: Optional[List[int]] = None,
                      width: int = DEFAULT_WIDTH,
                      patterns: int = DEFAULT_PATTERNS

@@ -21,33 +21,47 @@ from typing import List, Optional
 
 from .bench.reporting import ascii_plot, format_table
 
-BUILTIN_BENCHES = ("c17", "figure4", "chatty")
-"""Netlist names the fault-simulation commands accept besides files."""
+from .gates.corpus import corpus_names
+
+BUILTIN_BENCHES = corpus_names()
+"""Bench names the fault-simulation commands accept besides files
+(the builtin corpus; see ``docs/corpus.md``)."""
+
+SEQUENTIAL_BENCHES = corpus_names(kind="sequential")
+"""The s-series subset of the corpus."""
 
 
-def _load_netlist(spec: str, validate: bool = True):
-    """Load a ``.bench`` file, or build one of the builtin benches."""
-    if os.path.exists(spec):
-        from .gates.io import read_bench
+def _load_bench(spec: str, validate: bool = True):
+    """Load a ``.bench`` file or builtin corpus bench (either kind).
 
-        with open(spec) as handle:
-            return read_bench(handle.read(), name=spec,
-                              validate=validate)
-    if spec == "c17":
-        from .gates.io import c17
+    Returns a :class:`~repro.gates.netlist.Netlist`, a
+    :class:`~repro.gates.io.SequentialBench`, or ``None`` after
+    printing an error.
+    """
+    from .core.errors import DesignError
+    from .gates.corpus import load_bench
 
-        return c17()
-    if spec == "figure4":
-        from .bench.faultbench import figure4_flat_netlist
+    try:
+        return load_bench(spec, validate=validate)
+    except DesignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
 
-        return figure4_flat_netlist()
-    if spec == "chatty":
-        from .bench.faultbench import chatty_fault_bench
 
-        return chatty_fault_bench()
-    print(f"error: {spec!r} is neither a file nor a builtin bench "
-          f"({', '.join(BUILTIN_BENCHES)})", file=sys.stderr)
-    return None
+def _load_netlist(spec: str, validate: bool = True,
+                  context: str = "this command"):
+    """Load a bench spec where only combinational input is legal."""
+    from .gates.io import SequentialBench
+
+    bench = _load_bench(spec, validate=validate)
+    if isinstance(bench, SequentialBench):
+        print(f"error: {spec!r} is a sequential bench "
+              f"({bench.ff_count()} flip-flops); {context} simulates "
+              f"combinational netlists only -- load sequential designs "
+              f"with repro.gates.io.read_sequential_bench and run them "
+              f"through repro.faults.sequential", file=sys.stderr)
+        return None
+    return bench
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -70,6 +84,25 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
     workers = resolve_workers(getattr(args, "workers", 0) or None)
     engine = getattr(args, "engine", "event")
+    bench = getattr(args, "bench", None)
+    if bench is not None:
+        from .bench.scenarios import run_corpus_table2
+        from .core.errors import DesignError
+
+        try:
+            rows = run_corpus_table2(bench, patterns=args.patterns,
+                                     buffer_size=args.buffer,
+                                     engine=engine)
+        except DesignError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"Table 2 over bench {bench!r} -- {args.patterns} "
+              f"patterns, buffer of {args.buffer}:")
+        print(format_table(
+            ["Design", "Host", "CPU time (s)", "Real time (s)"],
+            [[row.scenario, row.host, f"{row.cpu:.0f}",
+              f"{row.real:.0f}"] for row in rows]))
+        return 0
     if workers > 1:
         rows = run_table2_parallel(width=args.width,
                                    patterns=args.patterns,
@@ -132,15 +165,93 @@ def _cmd_figure4(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faultsim_sequential(args: argparse.Namespace, bench) -> int:
+    """Fault-simulate a sequential bench (one pattern per clock cycle).
+
+    Runs the event-driven sequential serial simulator over the whole
+    combinational core; the compiled PPSFP kernel, worker sharding and
+    the remote farm are combinational-only, so those flags are rejected
+    with a pointer at the sequential entry point.
+    """
+    from .core.signal import Logic
+    from .faults.faultlist import build_fault_list
+    from .faults.sequential import (SequentialSerialFaultSimulator,
+                                    design_from_bench)
+
+    rejected = []
+    if args.engine != "event":
+        rejected.append(f"--engine {args.engine}")
+    if getattr(args, "remote", None):
+        rejected.append("--remote")
+    if getattr(args, "workers", 0):
+        rejected.append("--workers")
+    if rejected:
+        flags = ', '.join(rejected)
+        verb = "requires" if len(rejected) == 1 else "require"
+        print(f"error: {args.netlist!r} is a sequential bench "
+              f"({bench.ff_count()} flip-flops): {flags} "
+              f"{verb} a combinational netlist; sequential campaigns "
+              f"run serially through repro.faults.sequential "
+              f"(read_sequential_bench -> design_from_bench -> "
+              f"SequentialSerialFaultSimulator)", file=sys.stderr)
+        return 2
+    design = design_from_bench(bench)
+    fault_list = build_fault_list(bench.core, collapse=args.collapse)
+    rng = random.Random(args.seed)
+    patterns = [{net: Logic(rng.getrandbits(1))
+                 for net in design.primary_inputs}
+                for _ in range(args.patterns)]
+    simulator = SequentialSerialFaultSimulator(design, bench.core,
+                                               fault_list)
+    report = simulator.run(patterns)
+    print(f"{args.netlist}: {bench.gate_count()} gates, "
+          f"{bench.ff_count()} flip-flops, "
+          f"{len(bench.primary_inputs)} inputs, "
+          f"{len(bench.primary_outputs)} outputs")
+    print(f"fault list over the core ({args.collapse}): "
+          f"{len(fault_list)} faults, sequential event engine")
+    print(f"{args.patterns} clock cycles -> "
+          f"{report.detected_count}/{report.total_faults} detected "
+          f"({report.coverage:.1%} coverage)")
+    if args.history:
+        history = report.coverage_history()
+        print(ascii_plot(list(enumerate(history)),
+                         label="coverage vs cycle"))
+    if args.report_out:
+        payload = {
+            "netlist": args.netlist,
+            "gates": bench.gate_count(),
+            "flip_flops": bench.ff_count(),
+            "collapse": args.collapse,
+            "patterns": args.patterns,
+            "seed": args.seed,
+            "engine": "sequential-event",
+            "workers": 1,
+            "total_faults": report.total_faults,
+            "detected": report.detected,
+            "coverage": report.coverage,
+            "undetected": sorted(report.undetected(fault_list.names())),
+            "coverage_history": report.coverage_history(),
+        }
+        with open(args.report_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.report_out}")
+    return 0
+
+
 def _cmd_faultsim(args: argparse.Namespace) -> int:
     from .compiled import fault_simulator_for
     from .core.signal import Logic
     from .faults.faultlist import build_fault_list
+    from .gates.io import SequentialBench
     from .parallel import parallel_fault_simulate, resolve_workers
 
-    netlist = _load_netlist(args.netlist)
+    netlist = _load_bench(args.netlist)
     if netlist is None:
         return 2
+    if isinstance(netlist, SequentialBench):
+        return _cmd_faultsim_sequential(args, netlist)
     fault_list = build_fault_list(netlist, collapse=args.collapse)
     rng = random.Random(args.seed)
     patterns = [{net: Logic(rng.getrandbits(1))
@@ -233,25 +344,35 @@ def _cmd_faultworker(args: argparse.Namespace) -> int:
 
 def _cmd_atpg(args: argparse.Namespace) -> int:
     from .faults.faultlist import build_fault_list
+    from .gates.io import SequentialBench
     from .gates.scoap import ScoapAnalysis
     from .parallel import parallel_generate_test_set, resolve_workers
 
-    netlist = _load_netlist(args.netlist)
+    netlist = _load_bench(args.netlist)
     if netlist is None:
         return 2
+    if isinstance(netlist, SequentialBench):
+        # Full-scan assumption: with every flip-flop on a scan chain
+        # the ATPG problem is combinational over the core (register
+        # state is directly controllable and observable).
+        print(f"{args.netlist}: sequential bench "
+              f"({netlist.ff_count()} flip-flops) -- generating "
+              f"full-scan tests over the combinational core")
+        netlist = netlist.core
     fault_list = build_fault_list(netlist, collapse=args.collapse)
     workers = resolve_workers(getattr(args, "workers", 0) or None)
     if workers > 1 and len(fault_list) > 1:
         test_set = parallel_generate_test_set(
             netlist, fault_list, workers=workers,
             random_patterns=args.random_patterns, seed=args.seed,
-            engine=args.engine)
+            max_backtracks=args.max_backtracks, engine=args.engine)
     else:
         from .faults.atpg import generate_test_set
 
         test_set = generate_test_set(
             netlist, fault_list, random_patterns=args.random_patterns,
-            seed=args.seed, engine=args.engine)
+            seed=args.seed, max_backtracks=args.max_backtracks,
+            engine=args.engine)
     print(f"{args.netlist}: {netlist.gate_count()} gates, "
           f"{len(fault_list)} target faults ({args.collapse})")
     print(f"test set: {len(test_set.patterns)} patterns, "
@@ -385,14 +506,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         servant_specs = [os.path.dirname(os.path.abspath(__file__))]
 
     findings = []
+    from .gates.io import SequentialBench
+
     for spec in design_specs:
         try:
-            netlist = _load_netlist(spec, validate=False)
+            netlist = _load_bench(spec, validate=False)
         except DesignError as exc:
             print(f"error: cannot load {spec!r}: {exc}", file=sys.stderr)
             return 2
         if netlist is None:
             return 2
+        if isinstance(netlist, SequentialBench):
+            # Sequential benches lint their combinational core; the
+            # flip-flop boundary carries no lintable structure.
+            netlist = netlist.core
         findings.extend(lint_netlist(netlist))
     sources = []
     for spec in servant_specs:
@@ -491,6 +618,11 @@ def build_parser() -> argparse.ArgumentParser:
     table2 = subparsers.add_parser(
         "table2", help="AL/ER/MR timing scenarios (Table 2)")
     table2.add_argument("--width", type=int, default=16)
+    table2.add_argument("--bench", default=None, metavar="BENCH",
+                        help="run the scenarios over a corpus bench or "
+                             ".bench file instead of the Figure 2 "
+                             "multiplier (sequential benches thread "
+                             "their register state client-side)")
     table2.add_argument("--patterns", type=int, default=100)
     table2.add_argument("--buffer", type=int, default=5)
     table2.add_argument("--engine", default="event",
@@ -565,6 +697,11 @@ def build_parser() -> argparse.ArgumentParser:
                            f"({', '.join(BUILTIN_BENCHES)})")
     atpg.add_argument("--random-patterns", type=int, default=32)
     atpg.add_argument("--seed", type=int, default=0)
+    atpg.add_argument("--max-backtracks", type=int, default=20_000,
+                      metavar="N",
+                      help="PODEM backtrack budget per fault; faults "
+                           "over budget are reported as aborted "
+                           "(default 20000)")
     atpg.add_argument("--collapse", default="equivalence",
                       choices=["none", "equivalence", "dominance"])
     atpg.add_argument("--show-patterns", action="store_true")

@@ -115,6 +115,53 @@ class CompiledSimulator:
         values = self.evaluate(input_values, fault=fault)
         return tuple(values[net] for net in self.netlist.outputs)
 
+    def outputs_for_faults(self, input_values: Mapping[str, Logic],
+                           faults: Sequence[Any]
+                           ) -> List[Tuple[Logic, ...]]:
+        """Faulty primary outputs for many faults of one input pattern.
+
+        Equivalent to ``[self.outputs(input_values, fault=f) for f in
+        faults]`` but lane-packed: each fault occupies its own bit lane
+        of a replicated-pattern word, so one ``run_fault`` probes up to
+        64 faults.  Distinct faults never interfere -- a site's
+        injection mask selects only the lanes carrying a fault at that
+        site, and the stuck-value word is per lane.  This is the packed
+        path under detection-table construction.
+        """
+        kernel = self.kernel
+        row: Dict[str, Logic] = {}
+        for net in kernel.inputs:
+            try:
+                row[net] = input_values[net]
+            except KeyError:
+                raise SimulationError(
+                    f"missing value for primary input {net!r}") from None
+        iv1, ic1 = pack_patterns(kernel.inputs, [row])
+        results: List[Tuple[Logic, ...]] = []
+        faults = list(faults)
+        evals = 0
+        for start in range(0, len(faults), WORD_BITS):
+            chunk = faults[start:start + WORD_BITS]
+            mask = (1 << len(chunk)) - 1
+            iv = [mask if word & 1 else 0 for word in iv1]
+            ic = [mask if word & 1 else 0 for word in ic1]
+            fm = [0] * kernel.site_count
+            fv = 0
+            for lane, fault in enumerate(chunk):
+                fm[kernel.site_for(fault)] |= 1 << lane
+                if fault.value is Logic.ONE:
+                    fv |= 1 << lane
+            words = kernel.run_fault(iv, ic, fm, fv)
+            evals += kernel.gate_count
+            for lane in range(len(chunk)):
+                results.append(tuple(
+                    _unpack_bit(words[2 * index], words[2 * index + 1],
+                                lane)
+                    for index in kernel.output_index))
+        if TELEMETRY.enabled and evals:
+            TELEMETRY.metrics.counter("compiled.gate_evals").inc(evals)
+        return results
+
 
 class CompiledFaultSimulator:
     """PPSFP stuck-at fault simulation matching the serial oracle.
@@ -233,25 +280,41 @@ class CompiledFaultSimulator:
         """The subset of ``names`` detected by one pattern, in order.
 
         This is the compiled replacement for the interpreted
-        ``detected_by`` inner loop of random-phase ATPG.
+        ``detected_by`` inner loop of random-phase ATPG.  Faults are
+        lane-packed: the pattern is replicated across the word and each
+        fault of a 64-chunk occupies its own bit lane, so one hooked
+        kernel run probes 64 faults at once (injection masks select
+        only the lanes carrying a fault at that site, and the stuck
+        value is per lane -- distinct faults never interfere).
         """
         kernel = self.kernel
-        iv, ic = pack_patterns(kernel.inputs, [pattern])
-        good = kernel.run_good(iv, ic)
-        fm = [0] * kernel.site_count
+        iv1, ic1 = pack_patterns(kernel.inputs, [pattern])
+        good = kernel.run_good(iv1, ic1)
         hits: List[str] = []
+        names = list(names)
         evals = kernel.gate_count
-        for name in names:
-            site, value = self._sites[name]
-            fm[site] = 1
-            faulty = kernel.run_fault(iv, ic, fm, value)
-            fm[site] = 0
+        for start in range(0, len(names), WORD_BITS):
+            chunk = names[start:start + WORD_BITS]
+            mask = (1 << len(chunk)) - 1
+            iv = [mask if word & 1 else 0 for word in iv1]
+            ic = [mask if word & 1 else 0 for word in ic1]
+            fm = [0] * kernel.site_count
+            fv = 0
+            for lane, name in enumerate(chunk):
+                site, value = self._sites[name]
+                fm[site] |= 1 << lane
+                if value:
+                    fv |= 1 << lane
+            faulty = kernel.run_fault(iv, ic, fm, fv)
             evals += kernel.gate_count
+            diff = 0
             for pos in self._out_pos:
-                if (good[pos] ^ faulty[pos]) \
-                        | (good[pos + 1] ^ faulty[pos + 1]):
+                gv = mask if good[pos] & 1 else 0
+                gc = mask if good[pos + 1] & 1 else 0
+                diff |= (gv ^ faulty[pos]) | (gc ^ faulty[pos + 1])
+            for lane, name in enumerate(chunk):
+                if (diff >> lane) & 1:
                     hits.append(name)
-                    break
         if TELEMETRY.enabled:
             TELEMETRY.metrics.counter("compiled.gate_evals").inc(evals)
         return hits

@@ -10,7 +10,8 @@ from .faultlist import (FaultList, build_fault_list,
 from .model import StuckAtFault
 from .sequential import (SequentialDesign, SequentialEvaluator,
                          SequentialSerialFaultSimulator,
-                         SequentialVirtualFaultSimulator)
+                         SequentialVirtualFaultSimulator,
+                         design_from_bench)
 from .serial import FaultSimReport, SerialFaultSimulator
 from .transition import (SerialTransitionSimulator, TransitionFault,
                          TransitionFaultList, TransitionTestabilityServant,
@@ -30,6 +31,7 @@ __all__ = [
     "StuckAtFault",
     "SequentialDesign", "SequentialEvaluator",
     "SequentialSerialFaultSimulator", "SequentialVirtualFaultSimulator",
+    "design_from_bench",
     "FaultSimReport", "SerialFaultSimulator",
     "SerialTransitionSimulator", "TransitionFault", "TransitionFaultList",
     "TransitionTestabilityServant", "VirtualTransitionSimulator",

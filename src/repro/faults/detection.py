@@ -102,11 +102,21 @@ def build_detection_table(netlist: Netlist, fault_list: FaultList,
     fault_free = simulator.outputs(input_values)
     names = tuple(only) if only is not None else fault_list.names()
     rows: Dict[OutputPattern, set] = {}
-    for name in names:
-        fault = fault_list.fault(name)
-        faulty = simulator.outputs(input_values, fault=fault)
-        if faulty != fault_free:
-            rows.setdefault(faulty, set()).add(name)
+    if hasattr(simulator, "outputs_for_faults"):
+        # Compiled engine: lane-packed probing, up to 64 faults per
+        # kernel run instead of one simulation per fault.
+        faults = [fault_list.fault(name) for name in names]
+        for name, faulty in zip(
+                names, simulator.outputs_for_faults(input_values,
+                                                    faults)):
+            if faulty != fault_free:
+                rows.setdefault(faulty, set()).add(name)
+    else:
+        for name in names:
+            fault = fault_list.fault(name)
+            faulty = simulator.outputs(input_values, fault=fault)
+            if faulty != fault_free:
+                rows.setdefault(faulty, set()).add(name)
     input_pattern = tuple(input_values[net] for net in netlist.inputs)
     return DetectionTable(netlist.name, input_pattern, fault_free, rows)
 

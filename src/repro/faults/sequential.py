@@ -114,6 +114,55 @@ class SequentialDesign:
                 for q in self.registers}
 
 
+def design_from_bench(bench: Any) -> SequentialDesign:
+    """Map a parsed sequential bench onto a :class:`SequentialDesign`.
+
+    ``bench`` is a :class:`repro.gates.io.SequentialBench` (an ISCAS-89
+    ``.bench`` split at its flip-flop boundary).  The whole
+    combinational core plays the embedded IP block: the design's user
+    logic is a thin buffer shell that forwards primary inputs and
+    register state into the core and forwards the core's outputs to the
+    primary outputs and register ``d`` inputs.  Faults enumerated over
+    ``bench.core`` then run through
+    :class:`SequentialSerialFaultSimulator`/
+    :class:`SequentialVirtualFaultSimulator` unchanged.
+    """
+    core: Netlist = bench.core
+    harness = Netlist(f"{bench.name}-harness")
+    for net in bench.primary_inputs:
+        harness.add_input(net)
+    for q_net in bench.registers:
+        harness.add_input(q_net)
+    ip_outputs = tuple(f"{out}__io" for out in core.outputs)
+    for net in ip_outputs:
+        harness.add_input(net)
+    ip_inputs = []
+    for net in core.inputs:
+        target = f"{net}__ii"
+        harness.add_gate("BUF", [net], target)
+        harness.add_output(target)
+        ip_inputs.append(target)
+    io_of = dict(zip(core.outputs, ip_outputs))
+    primary_outputs = []
+    for po_net in bench.primary_outputs:
+        target = f"{po_net}__po"
+        harness.add_gate("BUF", [io_of[po_net]], target)
+        harness.add_output(target)
+        primary_outputs.append(target)
+    registers = {}
+    for q_net, d_net in bench.registers.items():
+        target = f"{q_net}__d"
+        harness.add_gate("BUF", [io_of[d_net]], target)
+        harness.add_output(target)
+        registers[q_net] = target
+    harness.validate()
+    return SequentialDesign(
+        logic=harness, registers=registers,
+        primary_inputs=tuple(bench.primary_inputs),
+        primary_outputs=tuple(primary_outputs),
+        ip_inputs=tuple(ip_inputs), ip_outputs=ip_outputs)
+
+
 class SequentialEvaluator:
     """Steps a :class:`SequentialDesign` one clock cycle at a time.
 

@@ -4,10 +4,15 @@ from .analysis import (NetlistStats, arrival_times, critical_path,
                        fanin_cone, fanout_cone, netlist_stats, support)
 from .cells import (AND, BUF, CELLS, NAND, NOR, NOT, OR, XNOR, XOR, CellType,
                     cell)
-from .generators import (array_multiplier, equality_comparator, full_adder,
-                         half_adder, ip1_block, parity_tree, random_netlist,
-                         ripple_carry_adder)
-from .io import C17_BENCH, c17, read_bench, write_bench
+from .corpus import (CorpusEntry, corpus_entries, corpus_entry,
+                     corpus_names, load_bench)
+from .generators import (alu, array_multiplier, equality_comparator,
+                         full_adder, half_adder, ip1_block, parity_tree,
+                         random_netlist, ripple_carry_adder, secded,
+                         sequential_wrap)
+from .io import (C17_BENCH, S27_BENCH, SequentialBench, c17, read_bench,
+                 read_sequential_bench, s27, write_bench,
+                 write_sequential_bench)
 from .module import GateLevelModule, LogicGateModule
 from .netlist import Gate, Netlist
 from .scoap import INFINITY, ScoapAnalysis, ScoapNumbers
@@ -18,9 +23,14 @@ __all__ = [
     "fanout_cone", "netlist_stats", "support",
     "AND", "BUF", "CELLS", "NAND", "NOR", "NOT", "OR", "XNOR", "XOR",
     "CellType", "cell",
-    "array_multiplier", "equality_comparator", "full_adder", "half_adder",
-    "ip1_block", "parity_tree", "random_netlist", "ripple_carry_adder",
-    "C17_BENCH", "c17", "read_bench", "write_bench",
+    "CorpusEntry", "corpus_entries", "corpus_entry", "corpus_names",
+    "load_bench",
+    "alu", "array_multiplier", "equality_comparator", "full_adder",
+    "half_adder", "ip1_block", "parity_tree", "random_netlist",
+    "ripple_carry_adder", "secded", "sequential_wrap",
+    "C17_BENCH", "S27_BENCH", "SequentialBench", "c17", "read_bench",
+    "read_sequential_bench", "s27", "write_bench",
+    "write_sequential_bench",
     "GateLevelModule", "LogicGateModule",
     "Gate", "Netlist",
     "INFINITY", "ScoapAnalysis", "ScoapNumbers",

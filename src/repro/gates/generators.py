@@ -127,6 +127,193 @@ def array_multiplier(width_a: int, width_b: Optional[int] = None,
     return netlist
 
 
+def alu(width: int, name: str = "alu") -> Netlist:
+    """A 74181-style arithmetic-logic unit: the c432/c880 class.
+
+    Inputs ``a0..a{w-1}``, ``b0..b{w-1}`` and a three-bit operation
+    select ``op0``/``op1`` (function) plus ``op2`` (carry in).  Each bit
+    slice computes AND, OR, XOR and full-adder SUM in parallel and a
+    4-way mux picks the result; outputs ``r0..r{w-1}``, ``cout`` and a
+    ``zero`` flag over the result vector::
+
+        op1 op0   result
+         0   0    a AND b
+         0   1    a OR b
+         1   0    a XOR b
+         1   1    a + b + op2   (cout meaningful)
+
+    At width 8 this lands in the ISCAS-85 c432 size class (~130 gates);
+    at width 32 in the c880/c1908 class.
+    """
+    if width <= 0:
+        raise DesignError("ALU width must be positive")
+    netlist = Netlist(name)
+    a_nets = [netlist.add_input(f"a{i}") for i in range(width)]
+    b_nets = [netlist.add_input(f"b{i}") for i in range(width)]
+    op0 = netlist.add_input("op0")
+    op1 = netlist.add_input("op1")
+    carry = netlist.add_input("op2")  # carry in for the add function
+    netlist.add_gate("NOT", [op0], "nop0", name="gnop0")
+    netlist.add_gate("NOT", [op1], "nop1", name="gnop1")
+    results: List[str] = []
+    for i in range(width):
+        a, b = a_nets[i], b_nets[i]
+        and_net = f"and{i}"
+        or_net = f"or{i}"
+        xor_net = f"xor{i}"
+        netlist.add_gate("AND", [a, b], and_net, name=f"gand{i}")
+        netlist.add_gate("OR", [a, b], or_net, name=f"gor{i}")
+        netlist.add_gate("XOR", [a, b], xor_net, name=f"gxor{i}")
+        # Full-adder slice reusing the AND/XOR terms above.
+        sum_net = f"sum{i}"
+        netlist.add_gate("XOR", [xor_net, carry], sum_net,
+                         name=f"gsum{i}")
+        prop = f"prop{i}"
+        netlist.add_gate("AND", [xor_net, carry], prop, name=f"gprop{i}")
+        next_carry = f"c{i + 1}"
+        netlist.add_gate("OR", [and_net, prop], next_carry,
+                         name=f"gcarry{i}")
+        carry = next_carry
+        # 4-way function mux: AND / OR / XOR / SUM.
+        netlist.add_gate("AND", [and_net, "nop0", "nop1"], f"m0_{i}",
+                         name=f"gm0_{i}")
+        netlist.add_gate("AND", [or_net, op0, "nop1"], f"m1_{i}",
+                         name=f"gm1_{i}")
+        netlist.add_gate("AND", [xor_net, "nop0", op1], f"m2_{i}",
+                         name=f"gm2_{i}")
+        netlist.add_gate("AND", [sum_net, op0, op1], f"m3_{i}",
+                         name=f"gm3_{i}")
+        result = f"res{i}"
+        netlist.add_gate("OR", [f"m0_{i}", f"m1_{i}", f"m2_{i}",
+                                f"m3_{i}"], result, name=f"gres{i}")
+        results.append(result)
+        out = netlist.add_output(f"r{i}")
+        netlist.add_gate("BUF", [result], out, name=f"obuf{i}")
+    cout = netlist.add_output("cout")
+    netlist.add_gate("BUF", [carry], cout, name="obufc")
+    zero = netlist.add_output("zero")
+    netlist.add_gate("NOR", results, zero, name="gzero")
+    netlist.validate()
+    return netlist
+
+
+def _hamming_positions(width: int) -> Tuple[List[int], List[int]]:
+    """Code positions (1-based) of data bits and parity bits.
+
+    Standard Hamming layout: parity bits sit at the power-of-two
+    positions, data bits fill the rest in order.
+    """
+    parity_positions: List[int] = []
+    position = 1
+    while position <= width + len(parity_positions):
+        parity_positions.append(position)
+        position *= 2
+    data_positions: List[int] = []
+    position = 1
+    while len(data_positions) < width:
+        if position not in parity_positions:
+            data_positions.append(position)
+        position += 1
+    return data_positions, parity_positions
+
+
+def _xor_tree(netlist: Netlist, sources: Sequence[str], target: str,
+              prefix: str) -> None:
+    """A balanced XOR reduction of ``sources`` into net ``target``."""
+    layer = list(sources)
+    level = 0
+    if len(layer) == 1:
+        netlist.add_gate("BUF", layer, target, name=f"{prefix}_buf")
+        return
+    while len(layer) > 1:
+        next_layer: List[str] = []
+        for pair in range(0, len(layer) - 1, 2):
+            net = (target if len(layer) <= 2
+                   else f"{prefix}_{level}_{pair // 2}")
+            netlist.add_gate("XOR", [layer[pair], layer[pair + 1]], net,
+                             name=f"{prefix}g{level}_{pair // 2}")
+            next_layer.append(net)
+        if len(layer) % 2:
+            next_layer.append(layer[-1])
+        layer = next_layer
+        level += 1
+
+
+def secded(width: int, name: str = "secded") -> Netlist:
+    """A Hamming SECDED encode-check-correct circuit: the c499/c1355 class.
+
+    Inputs ``d0..d{w-1}`` (data) and ``e0..e{r}`` (channel error
+    injection, XORed onto the code word between encoder and checker).
+    The encoder computes the Hamming parity bits plus the overall
+    (double-error-detect) parity; the checker recomputes the syndrome
+    from the possibly-corrupted word and corrects single-bit errors.
+    Outputs: corrected data ``q0..q{w-1}``, syndrome ``s0..``, and the
+    double-error flag ``derr``.
+
+    Like the ISCAS-85 c499/c1355 pair (a single-error-correcting code
+    circuit), the structure is XOR-tree dominated, which makes it a
+    worst case for fault collapsing.
+    """
+    if width < 4:
+        raise DesignError("SECDED width must be at least 4")
+    netlist = Netlist(name)
+    data = [netlist.add_input(f"d{i}") for i in range(width)]
+    data_positions, parity_positions = _hamming_positions(width)
+    r = len(parity_positions)
+    errors = [netlist.add_input(f"e{i}") for i in range(r + width + 1)]
+    total = width + r  # code word length without the overall parity
+
+    # Encoder: parity bit j covers every code position with bit j set.
+    code: dict = {pos: data[i] for i, pos in enumerate(data_positions)}
+    for j, pos in enumerate(parity_positions):
+        covered = [code[p] for p in data_positions if p & pos]
+        _xor_tree(netlist, covered, f"p{j}", f"enc{j}")
+        code[pos] = f"p{j}"
+    word = [code[pos] for pos in range(1, total + 1)]
+    _xor_tree(netlist, word, "pall", "encall")
+
+    # Channel: every code-word bit (and the overall parity) can be hit
+    # by an injected error.
+    channel: List[str] = []
+    for index, net in enumerate(word + ["pall"]):
+        hit = f"ch{index}"
+        netlist.add_gate("XOR", [net, errors[index]], hit,
+                         name=f"gch{index}")
+        channel.append(hit)
+
+    # Checker: recompute the syndrome over the received word.
+    syndrome: List[str] = []
+    for j, pos in enumerate(parity_positions):
+        covered = [channel[p - 1] for p in range(1, total + 1) if p & pos]
+        target = f"syn{j}"
+        _xor_tree(netlist, covered, target, f"chk{j}")
+        syndrome.append(target)
+        out = netlist.add_output(f"s{j}")
+        netlist.add_gate("BUF", [target], out, name=f"obufs{j}")
+        netlist.add_gate("NOT", [target], f"nsyn{j}", name=f"gnsyn{j}")
+    # Overall parity check: XOR over the full received word including
+    # the received overall-parity bit; 0 for no error or double error.
+    _xor_tree(netlist, channel, "synall", "chkall")
+
+    # Corrector: data bit i flips when the syndrome addresses it.
+    for i, pos in enumerate(data_positions):
+        match_terms = [syndrome[j] if pos & parity_pos else f"nsyn{j}"
+                       for j, parity_pos in enumerate(parity_positions)]
+        netlist.add_gate("AND", match_terms, f"match{i}",
+                         name=f"gmatch{i}")
+        out = netlist.add_output(f"q{i}")
+        netlist.add_gate("XOR", [channel[pos - 1], f"match{i}"], out,
+                         name=f"gfix{i}")
+
+    # Double-error flag: nonzero syndrome with even overall parity.
+    netlist.add_gate("OR", syndrome, "anysyn", name="ganysyn")
+    netlist.add_gate("NOT", ["synall"], "evenall", name="gevenall")
+    derr = netlist.add_output("derr")
+    netlist.add_gate("AND", ["anysyn", "evenall"], derr, name="gderr")
+    netlist.validate()
+    return netlist
+
+
 def parity_tree(width: int, name: str = "parity") -> Netlist:
     """An XOR parity tree over ``width`` inputs; output ``par``."""
     if width < 2:
@@ -206,6 +393,64 @@ def ip1_block(name: str = "IP1") -> Netlist:
     netlist.add_gate("BUF", ["I6"], "OIP2", name="gOIP2")
     netlist.validate()
     return netlist
+
+
+def sequential_wrap(core: Netlist, name: str = "seq",
+                    observers: int = 4):
+    """Wrap a combinational circuit into an s-series-style sequential bench.
+
+    The wrapped design registers every output of ``core`` and feeds
+    every core input from ``XOR(primary input, register)``, so fault
+    effects must travel through the flip-flop boundary: only
+    ``observers`` primary outputs exist, each mixing one current core
+    output with the *previous* cycle's state (``po_t = XOR(out_t,
+    q_{t+1 mod m})``).  This is how alu/ecc combinational corpus
+    entries become s344/s1196-class sequential workloads.
+    """
+    from .io import SequentialBench
+    n_in, n_out = len(core.inputs), len(core.outputs)
+    if n_out < 1 or n_in < 1:
+        raise DesignError("sequential wrap needs core inputs and outputs")
+    wrapped = Netlist(name)
+    pis = [wrapped.add_input(f"x{k}") for k in range(n_in)]
+    q_nets = [wrapped.add_input(f"q{j}") for j in range(n_out)]
+    # Input mixing: the core sees PI XOR state, so state disturbances
+    # re-excite the whole cone every cycle.
+    mixed: List[str] = []
+    for k in range(n_in):
+        net = f"mx{k}"
+        wrapped.add_gate("XOR", [pis[k], q_nets[k % n_out]], net,
+                         name=f"gmx{k}")
+        mixed.append(net)
+    # Copy the core with its inputs rewired to the mixed nets and all
+    # internal nets/gates prefixed to avoid collisions.
+    rename = dict(zip(core.inputs, mixed))
+    for net in core.nets():
+        if net not in rename:
+            rename[net] = f"u_{net}"
+    for gate in core.levelize():
+        wrapped.add_gate(gate.cell.name,
+                         [rename[source] for source in gate.inputs],
+                         rename[gate.output], name=f"u_{gate.name}")
+    # Register every core output; observe only a few mixing points.
+    registers = {}
+    for j, out in enumerate(core.outputs):
+        d_net = f"nd{j}"
+        wrapped.add_gate("BUF", [rename[out]], d_net, name=f"gnd{j}")
+        wrapped.add_output(d_net)
+        registers[f"q{j}"] = d_net
+    primary_outputs = []
+    for t in range(min(observers, n_out)):
+        po = f"po{t}"
+        wrapped.add_gate("XOR", [rename[core.outputs[t]],
+                                 q_nets[(t + 1) % n_out]], po,
+                         name=f"gpo{t}")
+        wrapped.add_output(po)
+        primary_outputs.append(po)
+    wrapped.validate()
+    return SequentialBench(name=name, core=wrapped, registers=registers,
+                           primary_inputs=tuple(pis),
+                           primary_outputs=tuple(primary_outputs))
 
 
 def random_netlist(n_inputs: int, n_gates: int, n_outputs: int,

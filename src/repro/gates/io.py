@@ -12,15 +12,20 @@ facto standard is the ISCAS ``.bench`` format::
     10 = NAND(1, 3)
 
 This module reads and writes that format, so providers can import
-existing benchmark circuits as IP implementations.  Only combinational
-primitives are supported (``DFF`` lines are rejected -- the simulator
-core is combinational; sequential behaviour lives in backplane modules).
+existing benchmark circuits as IP implementations.  :func:`read_bench`
+handles combinational circuits (ISCAS-85); :func:`read_sequential_bench`
+additionally accepts ``DFF`` lines (ISCAS-89 s-series), splitting the
+design into a combinational core plus a flip-flop boundary
+(:class:`SequentialBench`) that
+:func:`repro.faults.sequential.design_from_bench` maps onto a
+:class:`~repro.faults.sequential.SequentialDesign`.
 """
 
 from __future__ import annotations
 
 import re
-from typing import List
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
 
 from ..core.errors import DesignError
 from .netlist import Netlist
@@ -71,11 +76,13 @@ def read_bench(text: str, name: str = "bench",
         cell_name = gate_match.group("cell").upper()
         if cell_name == "DFF":
             raise DesignError(
-                f"{name}:{line_number}: sequential DFF lines are not "
-                f"supported: every --engine (event and compiled) "
-                f"simulates pure combinational netlists; model state "
-                f"with backplane register modules and drive sequential "
-                f"campaigns through repro.faults.sequential")
+                f"{name}:{line_number}: DFF line in combinational input: "
+                f"this bench is sequential -- load it with "
+                f"repro.gates.io.read_sequential_bench and run it "
+                f"through repro.faults.sequential (the event-driven "
+                f"serial/virtual sequential simulators); both --engine "
+                f"choices (event and compiled) simulate combinational "
+                f"netlists only")
         if cell_name not in _CELL_ALIASES:
             raise DesignError(
                 f"{name}:{line_number}: unknown cell {cell_name!r}")
@@ -111,6 +118,144 @@ def write_bench(netlist: Netlist) -> str:
     return "\n".join(lines) + "\n"
 
 
+@dataclass(frozen=True)
+class SequentialBench:
+    """A sequential ``.bench`` split at its flip-flop boundary.
+
+    ``core`` is the combinational logic between registers: its primary
+    inputs are the design's real primary inputs followed by the
+    flip-flop ``q`` nets; its primary outputs cover the design's
+    primary outputs and every register ``d`` net.  ``registers`` maps
+    each ``q`` net to the core output latched into it on a clock edge
+    (power-up state is all-zero, the ISCAS-89 convention).
+    """
+
+    name: str
+    core: Netlist
+    registers: Dict[str, str] = field(default_factory=dict)
+    primary_inputs: Tuple[str, ...] = ()
+    primary_outputs: Tuple[str, ...] = ()
+
+    def gate_count(self) -> int:
+        """Gates in the combinational core (excludes the flip-flops)."""
+        return self.core.gate_count()
+
+    def ff_count(self) -> int:
+        """Number of flip-flops."""
+        return len(self.registers)
+
+
+def read_sequential_bench(text: str, name: str = "bench",
+                          validate: bool = True) -> SequentialBench:
+    """Parse a sequential ``.bench`` (ISCAS-89 style, ``DFF`` lines).
+
+    The flip-flops are peeled off into a register boundary and the
+    remaining gates form a pure combinational core whose pseudo-inputs
+    are the ``q`` nets and whose pseudo-outputs are the ``d`` nets --
+    the classic full-scan view.  Combinational-only text parses too
+    (zero registers), so one loader can sniff either dialect.
+    """
+    pi_nets: List[str] = []
+    po_nets: List[str] = []
+    registers: Dict[str, str] = {}
+    gates: List[Tuple[int, str, str, List[str]]] = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO.match(line)
+        if io_match:
+            net = io_match.group("net")
+            if io_match.group("kind").upper() == "INPUT":
+                pi_nets.append(net)
+            else:
+                po_nets.append(net)
+            continue
+        gate_match = _LINE.match(line)
+        if not gate_match:
+            raise DesignError(
+                f"{name}:{line_number}: cannot parse bench line {raw!r}")
+        cell_name = gate_match.group("cell").upper()
+        output = gate_match.group("output")
+        inputs = [token.strip()
+                  for token in gate_match.group("inputs").split(",")
+                  if token.strip()]
+        if cell_name == "DFF":
+            if len(inputs) != 1:
+                raise DesignError(
+                    f"{name}:{line_number}: DFF takes exactly one input, "
+                    f"got {len(inputs)}")
+            if output in registers:
+                raise DesignError(
+                    f"{name}:{line_number}: duplicate flip-flop "
+                    f"{output!r}")
+            registers[output] = inputs[0]
+            continue
+        if cell_name not in _CELL_ALIASES:
+            raise DesignError(
+                f"{name}:{line_number}: unknown cell {cell_name!r}")
+        gates.append((line_number, _CELL_ALIASES[cell_name], output,
+                      inputs))
+
+    core = Netlist(name)
+    for net in pi_nets:
+        if net in registers:
+            raise DesignError(
+                f"{name}: net {net!r} is both a primary input and a "
+                f"flip-flop output")
+        core.add_input(net)
+    for q_net in registers:
+        core.add_input(q_net)
+    for line_number, cell_name, output, inputs in gates:
+        if output in registers:
+            raise DesignError(
+                f"{name}:{line_number}: net {output!r} is driven by "
+                f"both a gate and a flip-flop")
+        core.add_gate(cell_name, inputs, output)
+
+    primary_outputs: List[str] = []
+    for net in po_nets:
+        if net in core.inputs:
+            buffered = f"{net}_po"
+            core.add_gate("BUF", [net], buffered)
+            core.add_output(buffered)
+            primary_outputs.append(buffered)
+        else:
+            core.add_output(net)
+            primary_outputs.append(net)
+    for q_net, d_net in list(registers.items()):
+        if d_net in core.inputs:
+            buffered = f"{d_net}_ff"
+            if buffered not in core.outputs:
+                core.add_gate("BUF", [d_net], buffered)
+                core.add_output(buffered)
+            registers[q_net] = buffered
+        elif d_net not in core.outputs:
+            core.add_output(d_net)
+    if validate:
+        core.validate()
+    return SequentialBench(name=name, core=core, registers=registers,
+                           primary_inputs=tuple(pi_nets),
+                           primary_outputs=tuple(primary_outputs))
+
+
+def write_sequential_bench(bench: SequentialBench) -> str:
+    """Serialize a sequential bench (roundtrips with the reader)."""
+    lines = [f"# {bench.name}"]
+    for net in bench.primary_inputs:
+        lines.append(f"INPUT({net})")
+    for net in bench.primary_outputs:
+        lines.append(f"OUTPUT({net})")
+    lines.append("")
+    for q_net, d_net in bench.registers.items():
+        lines.append(f"{q_net} = DFF({d_net})")
+    for gate in bench.core.levelize():
+        operands = ", ".join(gate.inputs)
+        cell_name = "BUFF" if gate.cell.name == "BUF" else gate.cell.name
+        lines.append(f"{gate.output} = {cell_name}({operands})")
+    return "\n".join(lines) + "\n"
+
+
 C17_BENCH = """
 # c17 -- the smallest ISCAS-85 benchmark
 INPUT(1)
@@ -132,3 +277,31 @@ OUTPUT(23)
 def c17() -> Netlist:
     """The ISCAS-85 c17 benchmark circuit (6 NAND gates)."""
     return read_bench(C17_BENCH, name="c17")
+
+
+S27_BENCH = """
+# s27 -- the smallest ISCAS-89 sequential benchmark
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+
+def s27() -> SequentialBench:
+    """The ISCAS-89 s27 benchmark (10 gates, 3 flip-flops)."""
+    return read_sequential_bench(S27_BENCH, name="s27")

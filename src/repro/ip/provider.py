@@ -177,6 +177,136 @@ class FunctionalServant:
         return [("o", (a * b) & ((1 << (2 * self.width)) - 1))]
 
 
+class BitPowerServant:
+    """Accurate power estimation addressed with raw input bit vectors.
+
+    :class:`PowerServant` is bound to operand-structured ports
+    (``a``/``b`` words); corpus benches have arbitrary port structures,
+    so this variant takes one bit per netlist primary input, in
+    declaration order.  Session handling, batch buffering
+    (``power_buffer``), server-side marking (``mark_bits``) and result
+    fetching mirror :class:`PowerServant` exactly.
+    """
+
+    REMOTE_METHODS = ("reset", "power_of_bits", "power_buffer",
+                      "mark_bits", "fetch_results")
+
+    def __init__(self, netlist: Netlist,
+                 model_factory: Optional[Callable[[], ToggleCountModel]]
+                 = None,
+                 calibration: float = 1.0, enabled: bool = True,
+                 gate_eval_cost: float = 0.0):
+        self.netlist = netlist
+        self.calibration = calibration
+        self.enabled = enabled
+        self.gate_eval_cost = gate_eval_cost
+        self._model_factory = model_factory or \
+            (lambda: ToggleCountModel(netlist))
+        self._models: Dict[str, ToggleCountModel] = {}
+        self._results: Dict[str, List[float]] = {}
+        self._lock = threading.Lock()
+
+    def _model(self, session: str) -> ToggleCountModel:
+        with self._lock:
+            model = self._models.get(session)
+            if model is None:
+                model = self._model_factory()
+                self._models[session] = model
+                self._results[session] = []
+            return model
+
+    def _compute(self, model: ToggleCountModel,
+                 bits: Sequence[int]) -> float:
+        if len(bits) != len(self.netlist.inputs):
+            raise RemoteError(
+                f"expected {len(self.netlist.inputs)} input bits, "
+                f"got {len(bits)}")
+        if not self.enabled:
+            return 0.0
+        from ..core.signal import Logic
+        inputs = {net: Logic(int(bit))
+                  for net, bit in zip(self.netlist.inputs, bits)}
+        before = model.evaluated_gates
+        power = model.power_of_pattern(inputs)
+        context = current_server_context()
+        if context is not None:
+            context.charge(self.gate_eval_cost
+                           * (model.evaluated_gates - before))
+        return power * self.calibration
+
+    # -- remote methods -----------------------------------------------------
+
+    def reset(self, session: str) -> None:
+        """Start a fresh pattern sequence for a session."""
+        with self._lock:
+            self._models.pop(session, None)
+            self._results.pop(session, None)
+
+    def power_of_bits(self, session: str,
+                      bits: Sequence[int]) -> float:
+        """Blocking single-pattern estimation (unbuffered)."""
+        return self._compute(self._model(session), bits)
+
+    def power_buffer(self, session: str,
+                     patterns: Sequence[Sequence[int]]) -> int:
+        """Batch estimation; results accumulate for fetch_results."""
+        model = self._model(session)
+        results = self._results[session]
+        for pattern in patterns:
+            results.append(self._compute(model, pattern))
+        return len(results)
+
+    def mark_bits(self, session: str, bits: Sequence[int]) -> None:
+        """Single-pattern push with server-side buffering (MR)."""
+        model = self._model(session)
+        self._results[session].append(self._compute(model, bits))
+
+    def fetch_results(self, session: str) -> List[float]:
+        """All accumulated per-pattern powers for a session."""
+        self._model(session)
+        return list(self._results[session])
+
+
+class BenchFunctionalServant:
+    """Remote functional evaluation of a published bench core (MR).
+
+    ``evaluate`` carries the complete input vector and touches no
+    server-side state, so identical stimuli produce identical replies
+    (client-cacheable).  Sequential designs thread their register state
+    on the *client*: the provider only ever sees combinational core
+    evaluations, never the design's trajectory.
+    """
+
+    REMOTE_METHODS = ("evaluate",)
+
+    def __init__(self, netlist: Netlist, engine: str = "event",
+                 gate_eval_cost: float = 40e-6):
+        self.netlist = netlist
+        self.gate_eval_cost = gate_eval_cost
+        if resolve_engine(engine) == "compiled":
+            from ..compiled import CompiledSimulator
+            self.simulator = CompiledSimulator(netlist)
+        else:
+            from ..gates.simulator import NetlistSimulator
+            self.simulator = NetlistSimulator(netlist)
+
+    def evaluate(self, bits: Sequence[int]) -> List[int]:
+        """Core output bits for one full input vector, in order."""
+        if len(bits) != len(self.netlist.inputs):
+            raise RemoteError(
+                f"expected {len(self.netlist.inputs)} input bits, "
+                f"got {len(bits)}")
+        from ..core.signal import Logic
+        inputs = {net: Logic(int(bit))
+                  for net, bit in zip(self.netlist.inputs, bits)}
+        outputs = self.simulator.outputs(inputs)
+        context = current_server_context()
+        if context is not None:
+            context.charge(self.gate_eval_cost
+                           * self.netlist.gate_count())
+        return [int(value) for value in outputs]
+
+
 class TimingServant:
     """Accurate output timing: needs the gate-level structure, so it can
     only run on the provider's server (the paper's Figure 2 example of a
@@ -348,6 +478,59 @@ class IPProvider:
             "component": name,
             "area": netlist.area(),
             "delay_ns": netlist.critical_path_delay(),
+        })
+        return name
+
+    def publish_bench(self, spec: str, engine: str = "event",
+                      power_enabled: bool = True,
+                      power_server_cost: float = 0.0,
+                      fault_collapse: str = "equivalence") -> str:
+        """Publish a corpus bench (or ``.bench`` file) as an IP component.
+
+        Resolves ``spec`` through :func:`repro.gates.corpus.load_bench`
+        -- only the *name* ever crosses the wire; the netlist is built
+        and kept provider-side.  Sequential benches publish their
+        combinational core (the flip-flop boundary is the user's to
+        thread): the bound servants are ``{name}.power``
+        (:class:`BitPowerServant`), ``{name}.module``
+        (:class:`BenchFunctionalServant`), ``{name}.timing`` and
+        ``{name}.test``.  Returns the component name.
+        """
+        from ..gates.corpus import load_bench
+        from ..gates.io import SequentialBench
+        engine = resolve_engine(engine)
+        bench = load_bench(spec)
+        sequential = isinstance(bench, SequentialBench)
+        core = bench.core if sequential else bench
+        name = spec
+        self._netlists[name] = core
+        toggle_cls = (CompiledToggleModel if engine == "compiled"
+                      else ToggleCountModel)
+        power = BitPowerServant(core,
+                                model_factory=lambda: toggle_cls(core),
+                                enabled=power_enabled,
+                                gate_eval_cost=power_server_cost)
+        self.server.bind(f"{name}.power", power,
+                         BitPowerServant.REMOTE_METHODS)
+        self.server.bind(f"{name}.module",
+                         BenchFunctionalServant(core, engine=engine),
+                         BenchFunctionalServant.REMOTE_METHODS)
+        self.server.bind(f"{name}.timing", TimingServant(core),
+                         TimingServant.REMOTE_METHODS)
+        fault_list = build_fault_list(core, collapse=fault_collapse)
+        self.server.bind(f"{name}.test",
+                         TestabilityServant(core, fault_list,
+                                            engine=engine),
+                         TestabilityServant.REMOTE_METHODS)
+        self.catalog.add(name, {
+            "component": name,
+            "gates": core.gate_count(),
+            "area": core.area(),
+            "delay_ns": core.critical_path_delay(),
+            "inputs": len(core.inputs),
+            "outputs": len(core.outputs),
+            "flip_flops": len(bench.registers) if sequential else 0,
+            "sequential": sequential,
         })
         return name
 

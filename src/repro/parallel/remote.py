@@ -112,23 +112,23 @@ def resolve_bench(spec: str) -> Netlist:
     build the same netlist from the same spec, which is what makes the
     fault names agree.
     """
-    import os
-    if os.path.exists(spec):
-        from ..gates.io import read_bench
-        with open(spec) as handle:
-            return read_bench(handle.read(), name=spec)
-    if spec == "c17":
-        from ..gates.io import c17
-        return c17()
-    if spec == "figure4":
-        from ..bench.faultbench import figure4_flat_netlist
-        return figure4_flat_netlist()
-    if spec == "chatty":
-        from ..bench.faultbench import chatty_fault_bench
-        return chatty_fault_bench()
-    raise ParallelExecutionError(
-        f"unknown bench {spec!r}: neither a file on this worker nor a "
-        f"builtin bench")
+    from ..core.errors import DesignError
+    from ..gates.corpus import load_bench
+    from ..gates.io import SequentialBench
+
+    try:
+        bench = load_bench(spec)
+    except DesignError as exc:
+        raise ParallelExecutionError(
+            f"unknown bench {spec!r}: neither a file on this worker nor "
+            f"a builtin bench ({exc})") from None
+    if isinstance(bench, SequentialBench):
+        raise ParallelExecutionError(
+            f"bench {spec!r} is sequential ({bench.ff_count()} "
+            f"flip-flops): the fault farm shards combinational pattern "
+            f"sets; load it with repro.gates.io.read_sequential_bench "
+            f"and run it through repro.faults.sequential instead")
+    return bench
 
 
 class FaultFarmServant:

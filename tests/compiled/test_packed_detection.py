@@ -1,0 +1,102 @@
+"""Lane-packed fault probing: 64 faults per kernel run, same answers.
+
+``CompiledSimulator.outputs_for_faults`` packs distinct faults into
+distinct bit lanes of one replicated pattern, so detection-table
+construction (and everything above it: TestabilityServant, ATPG's
+random phase) stops probing one pattern per call.  The contract is
+exact equality with the per-fault probing path on every stimulus,
+including unknown (X/Z) inputs.
+"""
+
+import random
+
+import pytest
+
+from repro.compiled import CompiledSimulator
+from repro.core import Logic
+from repro.faults import build_fault_list
+from repro.faults.atpg import generate_test_set
+from repro.faults.detection import build_detection_table
+from repro.gates import NetlistSimulator, load_bench
+
+BENCHES = ["c17", "figure4", "alu8"]
+
+
+def random_stimulus(netlist, rng, with_unknowns=False):
+    choices = ([Logic.ZERO, Logic.ONE, Logic.X, Logic.Z]
+               if with_unknowns else [Logic.ZERO, Logic.ONE])
+    return {net: rng.choice(choices) for net in netlist.inputs}
+
+
+class TestOutputsForFaults:
+    @pytest.mark.parametrize("bench", BENCHES)
+    @pytest.mark.parametrize("with_unknowns", [False, True])
+    def test_matches_per_fault_probing(self, bench, with_unknowns):
+        netlist = load_bench(bench)
+        fault_list = build_fault_list(netlist)
+        # >64 faults exercises multi-chunk packing on alu8.
+        names = fault_list.names()[:96]
+        faults = [fault_list.fault(name) for name in names]
+        compiled = CompiledSimulator(netlist)
+        rng = random.Random(hash(bench) & 0xFFFF)
+        for _ in range(4):
+            stimulus = random_stimulus(netlist, rng, with_unknowns)
+            packed = compiled.outputs_for_faults(stimulus, faults)
+            for fault, outputs in zip(faults, packed):
+                assert outputs == compiled.outputs(stimulus,
+                                                   fault=fault)
+
+    def test_event_engine_agrees(self):
+        netlist = load_bench("c17")
+        fault_list = build_fault_list(netlist)
+        faults = [fault_list.fault(name)
+                  for name in fault_list.names()]
+        compiled = CompiledSimulator(netlist)
+        event = NetlistSimulator(netlist)
+        stimulus = {net: Logic.ONE for net in netlist.inputs}
+        packed = compiled.outputs_for_faults(stimulus, faults)
+        for fault, outputs in zip(faults, packed):
+            assert outputs == event.outputs(stimulus, fault=fault)
+
+
+class TestDetectionTableParity:
+    @pytest.mark.parametrize("bench", BENCHES)
+    def test_tables_identical_across_engines(self, bench):
+        netlist = load_bench(bench)
+        fault_list = build_fault_list(netlist)
+        rng = random.Random(5)
+        stimulus = random_stimulus(netlist, rng)
+        event = build_detection_table(netlist, fault_list, stimulus)
+        compiled = build_detection_table(
+            netlist, fault_list, stimulus,
+            simulator=CompiledSimulator(netlist))
+        assert compiled == event
+        assert compiled.rows == event.rows
+
+
+class TestAtpgByteIdentity:
+    @pytest.mark.parametrize("bench", ["c17", "figure4"])
+    def test_test_sets_identical_across_engines(self, bench):
+        netlist = load_bench(bench)
+        event = generate_test_set(netlist, random_patterns=16, seed=1)
+        compiled = generate_test_set(netlist, random_patterns=16,
+                                     seed=1, engine="compiled")
+        assert compiled.patterns == event.patterns
+        assert compiled.detected == event.detected
+        assert list(compiled.detected) == list(event.detected)
+        assert compiled.untestable == event.untestable
+
+    def test_corpus_bench_identical_under_backtrack_budget(self):
+        """alu8 has random-resistant faults; a tight budget keeps the
+        run quick and the aborted list must agree across engines too."""
+        netlist = load_bench("alu8")
+        event = generate_test_set(netlist, random_patterns=64, seed=1,
+                                  max_backtracks=50)
+        compiled = generate_test_set(netlist, random_patterns=64,
+                                     seed=1, max_backtracks=50,
+                                     engine="compiled")
+        assert compiled.patterns == event.patterns
+        assert compiled.detected == event.detected
+        assert list(compiled.detected) == list(event.detected)
+        assert compiled.untestable == event.untestable
+        assert compiled.aborted == event.aborted

@@ -73,6 +73,21 @@ def test_faulty_evaluation_matches(seed):
                 (shape, seed, name, pattern)
 
 
+@pytest.mark.parametrize("bench", ["alu8", "ecc32", "mult8"])
+def test_corpus_evaluation_matches(bench):
+    """The parity property holds on the structured ISCAS-class corpus
+    generators, not just on random netlists."""
+    from repro.gates.corpus import load_bench
+
+    netlist = load_bench(bench)
+    rng = random.Random(len(bench))
+    interpreted = NetlistSimulator(netlist)
+    compiled = CompiledSimulator(netlist)
+    for pattern in three_valued_patterns(netlist, 8, rng):
+        assert compiled.evaluate(pattern) \
+            == interpreted.evaluate(pattern), (bench, pattern)
+
+
 @pytest.mark.parametrize("seed", range(4))
 @pytest.mark.parametrize("drop", [True, False])
 def test_campaign_report_matches_serial(seed, drop):

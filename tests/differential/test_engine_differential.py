@@ -60,6 +60,16 @@ def assert_reports_identical(event, compiled):
     assert compiled.coverage_history() == event.coverage_history()
 
 
+# Corpus benches ride with a fault-universe cap: the serial event
+# baseline is the slow side of the diff, and a subset keeps the suite
+# quick while still exercising four-digit-gate kernels.  Sequential
+# entries diff their combinational core (the full-scan view).
+CORPUS_CAMPAIGNS = {
+    "alu8": None, "ecc32": 200, "alu32": 200, "mult8": 200,
+    "mult16": 96, "salu8": 200,
+}
+
+
 def campaign(bench):
     if bench == "figure4":
         netlist = resolve_bench("figure4")
@@ -67,6 +77,18 @@ def campaign(bench):
     elif bench == "chatty":
         netlist = chatty_fault_bench()
         patterns = random_patterns(netlist, 24)
+    elif bench in CORPUS_CAMPAIGNS:
+        from repro.gates.corpus import load_bench
+        from repro.gates.io import SequentialBench
+
+        loaded = load_bench(bench)
+        netlist = (loaded.core if isinstance(loaded, SequentialBench)
+                   else loaded)
+        fault_list = build_fault_list(netlist)
+        cap = CORPUS_CAMPAIGNS[bench]
+        if cap is not None:
+            fault_list = fault_list.subset(fault_list.names()[:cap])
+        return netlist, fault_list, random_patterns(netlist, 16)
     else:  # embedded
         experiment = build_embedded(ip1_block())
         netlist = experiment.serial.netlist
@@ -87,13 +109,22 @@ class TestSerialParity:
             patterns, drop_detected=drop)
         assert_reports_identical(event, compiled)
 
+    @pytest.mark.parametrize("bench", sorted(CORPUS_CAMPAIGNS))
+    def test_corpus_report_identical(self, bench):
+        netlist, fault_list, patterns = campaign(bench)
+        event = SerialFaultSimulator(netlist, fault_list).run(patterns)
+        compiled = CompiledFaultSimulator(netlist, fault_list).run(
+            patterns)
+        assert_reports_identical(event, compiled)
+
 
 class TestParallelParity:
     """Sharded runs merge shard reports, so ``detected`` insertion
     order depends on the shard plan, not the engine; engine parity is
     judged against the *same runner* with ``--engine event``."""
 
-    @pytest.mark.parametrize("bench", ["figure4", "embedded"])
+    @pytest.mark.parametrize("bench", ["figure4", "embedded", "alu8",
+                                       "mult16"])
     def test_four_workers_identical(self, bench):
         netlist, fault_list, patterns = campaign(bench)
         serial = SerialFaultSimulator(netlist, fault_list).run(patterns)
@@ -119,3 +150,21 @@ class TestRemoteParity:
             assert sum(s.shards_served for s in servants) >= 4
         assert_reports_identical(event, compiled)
         assert diff_reports(serial, compiled) == []
+
+    def test_farm_resolves_corpus_bench(self):
+        """Workers rebuild corpus benches from the name alone; the
+        merged compiled report equals the local serial event run."""
+        netlist, fault_list, patterns = campaign("alu8")
+        serial = SerialFaultSimulator(netlist, fault_list).run(patterns)
+        with fault_farm(2) as (endpoints, _servants):
+            compiled = remote_fault_simulate("alu8", patterns,
+                                             endpoints,
+                                             engine="compiled")
+        assert diff_reports(serial, compiled) == []
+
+    def test_sequential_bench_rejected_with_pointer(self):
+        from repro.parallel.remote import ParallelExecutionError
+
+        with pytest.raises(ParallelExecutionError,
+                           match="read_sequential_bench"):
+            resolve_bench("s27")

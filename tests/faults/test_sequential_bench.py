@@ -1,0 +1,75 @@
+"""s-series benches through the sequential fault simulators."""
+
+import random
+
+import pytest
+
+from repro.bench import functional_model_of
+from repro.core import Logic
+from repro.faults import (SequentialSerialFaultSimulator,
+                          SequentialVirtualFaultSimulator,
+                          TestabilityServant, build_fault_list,
+                          design_from_bench)
+from repro.gates import load_bench
+
+
+def random_sequence(design, length, seed=0):
+    rng = random.Random(seed)
+    return [{net: Logic(rng.getrandbits(1))
+             for net in design.primary_inputs}
+            for _ in range(length)]
+
+
+class TestDesignFromBench:
+    def test_s27_maps_onto_sequential_design(self):
+        bench = load_bench("s27")
+        design = design_from_bench(bench)
+        assert design.primary_inputs == bench.primary_inputs
+        assert len(design.registers) == bench.ff_count()
+        assert len(design.ip_inputs) == len(bench.core.inputs)
+        assert len(design.ip_outputs) == len(bench.core.outputs)
+
+    @pytest.mark.parametrize("name", ["s27", "salu8"])
+    def test_corpus_sequential_benches_map(self, name):
+        design = design_from_bench(load_bench(name))
+        state = design.reset_state()
+        assert all(value is Logic.ZERO for value in state.values())
+
+
+class TestSerialSimulation:
+    def test_s27_detects_faults_over_a_sequence(self):
+        bench = load_bench("s27")
+        design = design_from_bench(bench)
+        fault_list = build_fault_list(bench.core)
+        serial = SequentialSerialFaultSimulator(design, bench.core,
+                                                fault_list)
+        report = serial.run(random_sequence(design, 60, seed=3))
+        assert report.total_faults == len(fault_list)
+        assert report.coverage > 0.5
+
+    def test_s27_multi_cycle_propagation(self):
+        """Some s27 faults cross a register before reaching G17."""
+        bench = load_bench("s27")
+        design = design_from_bench(bench)
+        serial = SequentialSerialFaultSimulator(
+            design, bench.core, build_fault_list(bench.core))
+        report = serial.run(random_sequence(design, 30, seed=3))
+        assert any(index >= 1 for index in report.detected.values())
+
+
+class TestVirtualEqualsSerial:
+    @pytest.mark.parametrize("name,length,seed", [
+        ("s27", 16, 3), ("s27", 24, 11),
+    ])
+    def test_bench_sequences_agree(self, name, length, seed):
+        bench = load_bench(name)
+        design = design_from_bench(bench)
+        fault_list = build_fault_list(bench.core)
+        servant = TestabilityServant(bench.core, fault_list)
+        virtual = SequentialVirtualFaultSimulator(
+            design, servant, functional_model_of(bench.core))
+        serial = SequentialSerialFaultSimulator(design, bench.core,
+                                                fault_list)
+        sequence = random_sequence(design, length, seed)
+        assert dict(virtual.run(sequence).detected) == \
+            dict(serial.run(sequence).detected)

@@ -117,6 +117,79 @@ class TestOutputPathValidation:
         assert out.exists()
 
 
+class TestCorpusBenches:
+    """Every campaign command accepts builtin corpus names, including
+    the sequential s-series."""
+
+    @pytest.mark.parametrize("bench", ["alu8", "ecc32", "alu32",
+                                       "mult8"])
+    def test_faultsim_compiled_on_corpus(self, bench, capsys):
+        assert main(["faultsim", bench, "--engine", "compiled",
+                     "--patterns", "16"]) == 0
+        assert "coverage" in capsys.readouterr().out
+
+    def test_faultsim_sequential_serial(self, capsys):
+        assert main(["faultsim", "s27", "--patterns", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "3 flip-flops" in out
+        assert "clock cycles" in out
+        assert "coverage" in out
+
+    def test_faultsim_sequential_rejects_compiled_engine(self, capsys):
+        assert main(["faultsim", "s27", "--engine", "compiled",
+                     "--patterns", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "sequential bench" in err
+        assert "read_sequential_bench" in err
+        assert "repro.faults.sequential" in err
+
+    @pytest.mark.parametrize("flag", [["--workers", "4"],
+                                      ["--remote", "h:9001"]])
+    def test_faultsim_sequential_rejects_parallel_flags(self, flag,
+                                                        capsys):
+        assert main(["faultsim", "s27", "--patterns", "4"] + flag) == 2
+        assert "repro.faults.sequential" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("bench", ["alu8", "ecc32", "alu32",
+                                       "mult8", "s27", "salu8"])
+    def test_lint_accepts_corpus(self, bench, capsys):
+        assert main(["lint", "--design", bench]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_atpg_on_corpus(self, capsys):
+        # A tight backtrack budget keeps the deterministic phase quick;
+        # random-resistant alu8 faults are reported as aborted instead.
+        assert main(["atpg", "alu8", "--random-patterns", "64",
+                     "--engine", "compiled",
+                     "--max-backtracks", "50"]) == 0
+        assert "coverage" in capsys.readouterr().out
+
+    def test_atpg_sequential_goes_full_scan(self, capsys):
+        assert main(["atpg", "s27", "--random-patterns", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "full-scan" in out
+        assert "coverage" in out
+
+    def test_table2_over_corpus_bench(self, capsys):
+        assert main(["table2", "--bench", "s27", "--patterns",
+                     "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2 over bench 's27'" in out
+        for scenario in ("AL", "ER", "MR"):
+            assert scenario in out
+
+    def test_table2_unknown_bench_fails(self, capsys):
+        assert main(["table2", "--bench", "c9999", "--patterns",
+                     "4"]) == 2
+        assert "neither a file" in capsys.readouterr().err
+
+    def test_unknown_bench_lists_corpus(self, capsys):
+        assert main(["faultsim", "c9999", "--patterns", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "neither a file" in err
+        assert "mult16" in err
+
+
 class TestRemoteFarmCli:
     def test_remote_flag_is_repeatable(self):
         args = build_parser().parse_args(
