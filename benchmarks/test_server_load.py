@@ -1,0 +1,153 @@
+"""Concurrent-load benchmark for the async multi-tenant server.
+
+Opens ``REPRO_SERVER_SESSIONS`` (default 32) concurrent authenticated
+sessions against :class:`repro.server.AsyncRMIServer`, has every
+session issue a burst of RMI calls, and records p50/p99 latency plus
+aggregate throughput into ``BENCH_server_load.json``.  The same load
+is replayed against the legacy blocking thread-per-connection server
+as a baseline, so the report shows what the async front end buys (or
+costs) under fan-in.
+
+The servant is deliberately tiny: the benchmark measures the serving
+stacks -- framing, queueing, dispatch hand-off -- not gate simulation.
+"""
+
+import os
+import threading
+import time
+
+from repro.bench import write_bench_report
+from repro.rmi import TcpTransport
+from repro.rmi.server import JavaCADServer
+from repro.server import AsyncRMIServer
+
+SESSIONS = int(os.environ.get("REPRO_SERVER_SESSIONS", "32"))
+CALLS_PER_SESSION = int(os.environ.get("REPRO_SERVER_CALLS", "25"))
+TOKEN = "bench-load"
+
+
+class Probe:
+    """Constant-work servant so latency reflects the serving stack."""
+
+    def ping(self, value):
+        return value + 1
+
+
+def probe_session():
+    session = JavaCADServer("bench.load.session")
+    session.bind("probe", Probe(), ["ping"])
+    return session
+
+
+def percentile(sorted_values, fraction):
+    index = round(fraction * (len(sorted_values) - 1))
+    return sorted_values[index]
+
+
+def drive_load(host, port, *, token=None):
+    """Fan SESSIONS concurrent clients in; return latencies + wall."""
+    latencies = []
+    failures = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(SESSIONS + 1)
+
+    def client(index):
+        try:
+            # Wide connect timeout: SESSIONS client threads contend
+            # for the GIL in this one process, so the fail-fast
+            # default would misfire on a healthy loopback server.
+            transport = TcpTransport(host, port, token=token,
+                                     connect_timeout=30.0)
+            transport.connect()
+            barrier.wait(timeout=30)
+            mine = []
+            for call in range(CALLS_PER_SESSION):
+                begin = time.perf_counter()
+                result = transport.invoke("probe", "ping", (call,), {})
+                mine.append(time.perf_counter() - begin)
+                assert result == call + 1
+            transport.close()
+            with lock:
+                latencies.extend(mine)
+        except Exception as exc:
+            with lock:
+                failures.append((index, exc))
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+
+    threads = [threading.Thread(target=client, args=(index,))
+               for index in range(SESSIONS)]
+    for thread in threads:
+        thread.start()
+    try:
+        barrier.wait(timeout=30)  # all sessions connect before timing
+    except threading.BrokenBarrierError:
+        pass  # a client failed; surface it via `failures` below
+    begin = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout=120)
+    wall = time.perf_counter() - begin
+    assert not failures, failures[:3]
+    assert len(latencies) == SESSIONS * CALLS_PER_SESSION
+    return sorted(latencies), wall
+
+
+def stack_summary(latencies, wall):
+    calls = len(latencies)
+    return {
+        "calls": calls,
+        "throughput_calls_per_second": round(calls / wall, 1),
+        "wall_seconds": round(wall, 4),
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        "max_ms": round(latencies[-1] * 1e3, 3),
+    }
+
+
+def test_server_load(benchmark):
+    server = AsyncRMIServer(session_factory=probe_session,
+                            auth_token=TOKEN,
+                            max_connections=SESSIONS + 8)
+    host, port = server.start()
+    try:
+        latencies, wall = benchmark.pedantic(
+            drive_load, args=(host, port), kwargs={"token": TOKEN},
+            rounds=1, iterations=1)
+        stats = server.stats.snapshot()
+    finally:
+        server.stop()
+
+    assert stats["connections_peak"] >= SESSIONS
+    assert stats["sessions_started"] == SESSIONS
+    assert stats["auth_failures"] == 0
+    assert stats["calls_served"] == SESSIONS * CALLS_PER_SESSION
+
+    blocking = JavaCADServer("bench.load.blocking")
+    blocking.bind("probe", Probe(), ["ping"])
+    bhost, bport = blocking.serve_tcp("127.0.0.1", 0)
+    try:
+        blocking_latencies, blocking_wall = drive_load(bhost, bport)
+    finally:
+        blocking.stop_tcp()
+
+    async_summary = stack_summary(latencies, wall)
+    blocking_summary = stack_summary(blocking_latencies, blocking_wall)
+    print()
+    print(f"{SESSIONS} concurrent sessions x {CALLS_PER_SESSION} calls")
+    for name, summary in (("async+auth", async_summary),
+                          ("blocking", blocking_summary)):
+        print(f"{name}: p50 {summary['p50_ms']}ms "
+              f"p99 {summary['p99_ms']}ms "
+              f"{summary['throughput_calls_per_second']} calls/s")
+
+    path = write_bench_report("server_load", {
+        "sessions": SESSIONS,
+        "calls_per_session": CALLS_PER_SESSION,
+        "auth": True,
+        "async_server": async_summary,
+        "async_server_stats": stats,
+        "blocking_server": blocking_summary,
+    })
+    print(f"wrote {path}")

@@ -266,7 +266,9 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
             args.netlist, patterns, remotes, collapse=args.collapse,
             netlist=netlist, fault_list=fault_list,
             workers=getattr(args, "workers", 0) or None,
-            engine=args.engine)
+            engine=args.engine,
+            token=getattr(args, "remote_token", None),
+            tls_ca=getattr(args, "remote_ca", None))
         workers = len(remotes)
     elif workers > 1 and len(fault_list) > 1:
         report = parallel_fault_simulate(netlist, patterns,
@@ -315,11 +317,41 @@ def _cmd_faultsim(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_faultworker(args: argparse.Namespace) -> int:
-    """Serve fault-simulation shards to remote `faultsim --remote` runs."""
+def _serve_until_interrupted(serve_seconds: Optional[float]) -> None:
     import threading
     import time as _time
 
+    if serve_seconds is not None:
+        threading.Event().wait(serve_seconds)
+    else:
+        while True:
+            _time.sleep(3600)
+
+
+def _build_server_ssl(args: argparse.Namespace):
+    """Build the server SSLContext from --tls-cert/--tls-key (or None).
+
+    Returns ``(ok, context)``: flag misuse prints an error and reports
+    ``ok=False``.
+    """
+    cert = getattr(args, "tls_cert", None)
+    key = getattr(args, "tls_key", None)
+    if cert is None and key is None:
+        return True, None
+    if not (cert and key):
+        print("error: --tls-cert and --tls-key must be given together",
+              file=sys.stderr)
+        return False, None
+    from .rmi.tlsconfig import server_ssl_context
+
+    return True, server_ssl_context(cert, key)
+
+
+def _cmd_faultworker(args: argparse.Namespace) -> int:
+    """Serve fault-simulation shards to remote `faultsim --remote` runs."""
+    if args.use_async or args.tls_cert or args.tls_key \
+            or args.auth_token is not None:
+        return _cmd_faultworker_async(args)
     from .parallel.remote import register_fault_farm
     from .rmi.server import JavaCADServer
 
@@ -329,16 +361,96 @@ def _cmd_faultworker(args: argparse.Namespace) -> int:
     # The exact line CI and scripts wait for before dispatching work.
     print(f"fault farm worker serving on {host}:{port}", flush=True)
     try:
-        if args.serve_seconds is not None:
-            threading.Event().wait(args.serve_seconds)
-        else:
-            while True:
-                _time.sleep(3600)
+        _serve_until_interrupted(args.serve_seconds)
     except KeyboardInterrupt:
         pass
     finally:
         server.stop_tcp()
         print("fault farm worker stopped", flush=True)
+    return 0
+
+
+def _cmd_faultworker_async(args: argparse.Namespace) -> int:
+    """The faultworker on the asyncio multi-tenant front end.
+
+    Selected by ``--async`` (or implicitly by any TLS/auth flag, which
+    only this front end enforces).  Every connection gets its own farm
+    servant, so concurrent ``faultsim --remote`` clients cannot mix
+    task state.
+    """
+    from .server import AsyncRMIServer
+    from .server.farm import fault_farm_session_factory
+
+    ok, ssl_context = _build_server_ssl(args)
+    if not ok:
+        return 2
+    server = AsyncRMIServer(
+        session_factory=fault_farm_session_factory(),
+        host=args.host, port=args.port,
+        max_connections=args.max_connections,
+        auth_token=args.auth_token,
+        ssl_context=ssl_context,
+        idle_timeout=args.idle_timeout,
+        name=f"faultfarm@{args.host}:{args.port}")
+    host, port = server.start()
+    # Same readiness line as the blocking worker, so scripts and CI
+    # wait on one pattern regardless of front end.
+    print(f"fault farm worker serving on {host}:{port}", flush=True)
+    try:
+        _serve_until_interrupted(args.serve_seconds)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        print(server.stats.summary_line(), flush=True)
+        print("fault farm worker stopped", flush=True)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Host a full IP provider on the async multi-tenant server.
+
+    Publishes the Figure 2 multiplier's estimator/timing/test servants
+    once (they are read-only and shared across tenants) and gives every
+    connection a private fault-farm servant plus isolated id
+    namespaces -- the paper's multi-client JavaCAD server.
+    """
+    from .ip.provider import IPProvider
+    from .server import AsyncRMIServer
+    from .server.farm import fault_farm_session_factory
+
+    ok, ssl_context = _build_server_ssl(args)
+    if not ok:
+        return 2
+    provider = IPProvider(f"serve@{args.host}:{args.port}")
+    component = provider.publish_multiplier(args.width,
+                                            engine=args.engine)
+    server = AsyncRMIServer(
+        session_factory=fault_farm_session_factory(
+            shared=provider.server),
+        host=args.host, port=args.port,
+        max_connections=args.max_connections,
+        auth_token=args.auth_token,
+        ssl_context=ssl_context,
+        idle_timeout=args.idle_timeout,
+        name=f"serve@{args.host}:{args.port}")
+    host, port = server.start()
+    security = []
+    if ssl_context is not None:
+        security.append("tls")
+    if args.auth_token is not None:
+        security.append("token-auth")
+    suffix = f" ({', '.join(security)})" if security else ""
+    print(f"repro server serving {component!r} + fault farm on "
+          f"{host}:{port}{suffix}", flush=True)
+    try:
+        _serve_until_interrupted(args.serve_seconds)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        print(server.stats.summary_line(), flush=True)
+        print("repro server stopped", flush=True)
     return 0
 
 
@@ -604,6 +716,11 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument(
         "--rmi-timeout", type=float, metavar="SECONDS", default=None,
         help="socket timeout for TCP RMI transports (default 5.0)")
+    telemetry.add_argument(
+        "--rmi-connect-timeout", type=float, metavar="SECONDS",
+        default=None,
+        help="timeout for the initial TCP connect and TLS/AUTH "
+             "handshake (default 1.0; dead hosts fail this fast)")
     subparsers = parser.add_subparsers(dest="command", required=True,
                                        parser_class=lambda **kw:
                                        argparse.ArgumentParser(
@@ -666,6 +783,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="farm shards out to a remote fault-farm "
                                "worker (repeatable; start workers with "
                                "the faultworker subcommand)")
+    faultsim.add_argument("--remote-token", metavar="TOKEN", default=None,
+                          help="bearer token sent to --remote endpoints "
+                               "as the connection's first frame (match "
+                               "the worker's --auth-token)")
+    faultsim.add_argument("--remote-ca", metavar="PEM", default=None,
+                          help="CA bundle for TLS to --remote endpoints "
+                               "(enables TLS; match the worker's "
+                               "--tls-cert)")
     faultsim.add_argument("--engine", default="event",
                           choices=["event", "compiled"],
                           help="gate-simulation engine: the interpreted "
@@ -688,7 +813,64 @@ def build_parser() -> argparse.ArgumentParser:
                              metavar="S",
                              help="exit after S seconds (default: serve "
                                   "until interrupted)")
+    faultworker.add_argument("--async", dest="use_async",
+                             action="store_true", default=False,
+                             help="serve on the asyncio multi-tenant "
+                                  "front end (per-connection sessions; "
+                                  "implied by the TLS/auth flags)")
+    faultworker.add_argument("--tls-cert", metavar="PEM", default=None,
+                             help="serve TLS with this certificate "
+                                  "chain (requires --tls-key)")
+    faultworker.add_argument("--tls-key", metavar="PEM", default=None,
+                             help="private key for --tls-cert")
+    faultworker.add_argument("--auth-token", metavar="TOKEN",
+                             default=None,
+                             help="require this bearer token as every "
+                                  "connection's first frame")
+    faultworker.add_argument("--max-connections", type=int, default=64,
+                             metavar="N",
+                             help="refuse connections beyond N "
+                                  "concurrent tenants (async front end; "
+                                  "default 64)")
+    faultworker.add_argument("--idle-timeout", type=float, default=None,
+                             metavar="S",
+                             help="drop connections idle for S seconds "
+                                  "(async front end; default: never)")
     faultworker.set_defaults(fn=_cmd_faultworker)
+
+    serve = subparsers.add_parser(
+        "serve", help="host the multiplier IP provider + fault farm on "
+                      "the asyncio multi-tenant server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port to listen on (0 = pick a free "
+                            "port and print it)")
+    serve.add_argument("--width", type=int, default=8,
+                       help="bit width of the published multiplier IP")
+    serve.add_argument("--engine", default="event",
+                       choices=["event", "compiled"],
+                       help="provider-side gate-simulation engine")
+    serve.add_argument("--serve-seconds", type=float, default=None,
+                       metavar="S",
+                       help="exit after S seconds (default: serve "
+                            "until interrupted)")
+    serve.add_argument("--tls-cert", metavar="PEM", default=None,
+                       help="serve TLS with this certificate chain "
+                            "(requires --tls-key)")
+    serve.add_argument("--tls-key", metavar="PEM", default=None,
+                       help="private key for --tls-cert")
+    serve.add_argument("--auth-token", metavar="TOKEN", default=None,
+                       help="require this bearer token as every "
+                            "connection's first frame")
+    serve.add_argument("--max-connections", type=int, default=64,
+                       metavar="N",
+                       help="refuse connections beyond N concurrent "
+                            "tenants (default 64)")
+    serve.add_argument("--idle-timeout", type=float, default=None,
+                       metavar="S",
+                       help="drop connections idle for S seconds "
+                            "(default: never)")
+    serve.set_defaults(fn=_cmd_serve)
 
     atpg = subparsers.add_parser(
         "atpg", help="generate a stuck-at test set for a .bench netlist")
@@ -801,7 +983,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             batching=getattr(args, "rmi_batch", False) or None,
             caching=getattr(args, "rmi_cache", False) or None,
             max_batch=getattr(args, "rmi_max_batch", None),
-            rmi_timeout=getattr(args, "rmi_timeout", None)))
+            rmi_timeout=getattr(args, "rmi_timeout", None),
+            connect_timeout=getattr(args, "rmi_connect_timeout", None)))
         if trace_out is None and metrics_out is None:
             return args.fn(args)
 

@@ -49,13 +49,14 @@ from dataclasses import dataclass
 from typing import (Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple,
                     Union)
 
-from ..core.errors import ParallelExecutionError
+from ..core.errors import ParallelExecutionError, RemoteError
 from ..faults.faultlist import FaultList, build_fault_list
 from ..compiled import fault_simulator_for, resolve_engine
 from ..faults.serial import FaultSimReport
 from ..gates.netlist import Netlist
 from ..rmi.server import JavaCADServer
 from ..rmi.stub import RemoteStub
+from ..rmi.tlsconfig import client_ssl_context
 from ..rmi.transport import TcpTransport, Transport
 from ..rmi.wire import WIRE_OPTIONS, wrap_transport
 from ..telemetry.runtime import TELEMETRY
@@ -287,14 +288,20 @@ class _Endpoint:
     """
 
     def __init__(self, index: int, host: str, port: int,
-                 max_batch: Optional[int], timeout: Optional[float]):
+                 max_batch: Optional[int], timeout: Optional[float],
+                 ssl_context: Optional[Any] = None,
+                 server_hostname: Optional[str] = None,
+                 token: Optional[str] = None):
         self.index = index
         self.host = host
         self.port = port
         self.base = TcpTransport(
             host, port,
             timeout=timeout if timeout is not None
-            else WIRE_OPTIONS.rmi_timeout)
+            else WIRE_OPTIONS.rmi_timeout,
+            ssl_context=ssl_context,
+            server_hostname=server_hostname,
+            token=token)
         self.transport: Transport = wrap_transport(
             self.base, batching=True, caching=False,
             max_batch=max_batch or WIRE_OPTIONS.max_batch)
@@ -337,6 +344,7 @@ class _RunState:
         self.failure: Optional[ParallelExecutionError] = None
         self.live: Set[int] = set(range(endpoint_count))
         self.retries = 0
+        self.connect_retries = 0
         self.endpoint_failures = 0
         self._pending: List[int] = list(range(len(shards)))
         self._inflight = 0
@@ -397,6 +405,30 @@ class _RunState:
                     self.retries += 1
             self._cond.notify_all()
 
+    def note_connect_retry(self) -> None:
+        """Count one failed connect attempt that will be retried."""
+        with self._cond:
+            self.connect_retries += 1
+
+    def endpoint_lost(self, endpoint_index: int,
+                      cause: Optional[Exception]) -> None:
+        """An endpoint never became usable (connect/auth failure).
+
+        Unlike :meth:`shard_failed` no shard is implicated: the dead
+        endpoint simply leaves the live set and the survivors absorb
+        its share of the queue.  Only when *no* endpoint remains does
+        the run fail.
+        """
+        with self._cond:
+            self.live.discard(endpoint_index)
+            self.endpoint_failures += 1
+            if not self.live:
+                self._fail_locked(ParallelExecutionError(
+                    f"no remote endpoint could be reached "
+                    f"({len(self._pending)} shards unserved): {cause}"),
+                    cause)
+            self._cond.notify_all()
+
     def fail(self, failure: ParallelExecutionError,
              cause: Optional[Exception] = None) -> None:
         with self._cond:
@@ -431,10 +463,18 @@ class RemoteWorkerPool:
     exactly like local workers steal shards.
     """
 
+    DEFAULT_CONNECT_RETRIES = 3
+    DEFAULT_CONNECT_BACKOFF = 0.1
+
     def __init__(self, endpoints: Sequence[EndpointSpec],
                  max_batch: Optional[int] = None,
                  timeout: Optional[float] = None,
-                 patterns_per_call: int = DEFAULT_PATTERNS_PER_CALL):
+                 patterns_per_call: int = DEFAULT_PATTERNS_PER_CALL,
+                 token: Optional[str] = None,
+                 tls_ca: Optional[str] = None,
+                 server_hostname: Optional[str] = None,
+                 connect_retries: int = DEFAULT_CONNECT_RETRIES,
+                 connect_backoff: float = DEFAULT_CONNECT_BACKOFF):
         specs = [parse_endpoint(spec) for spec in endpoints]
         if not specs:
             raise ParallelExecutionError(
@@ -442,10 +482,22 @@ class RemoteWorkerPool:
         if patterns_per_call < 1:
             raise ParallelExecutionError(
                 f"patterns_per_call must be >= 1, got {patterns_per_call}")
+        if connect_retries < 0:
+            raise ParallelExecutionError(
+                f"connect_retries must be >= 0, got {connect_retries}")
+        if connect_backoff <= 0:
+            raise ParallelExecutionError(
+                f"connect_backoff must be positive, got {connect_backoff}")
         self.endpoints = specs
         self.max_batch = max_batch
         self.timeout = timeout
         self.patterns_per_call = patterns_per_call
+        self.token = token
+        self.server_hostname = server_hostname
+        self.connect_retries = connect_retries
+        self.connect_backoff = connect_backoff
+        self.ssl_context = (client_ssl_context(cafile=tls_ca)
+                            if tls_ca is not None else None)
 
     @property
     def workers(self) -> int:
@@ -461,7 +513,10 @@ class RemoteWorkerPool:
         pool_begin = time.perf_counter()
         nonce = next(_pool_nonces)
         endpoints = [
-            _Endpoint(index, host, port, self.max_batch, self.timeout)
+            _Endpoint(index, host, port, self.max_batch, self.timeout,
+                      ssl_context=self.ssl_context,
+                      server_hostname=self.server_hostname,
+                      token=self.token)
             for index, (host, port) in enumerate(self.endpoints)]
         state = _RunState(shards, len(endpoints))
         threads = [
@@ -496,8 +551,41 @@ class RemoteWorkerPool:
 
     # ------------------------------------------------------------------
 
+    def _connect_endpoint(self, endpoint: _Endpoint,
+                          state: _RunState) -> bool:
+        """Open the endpoint's connection with bounded backoff.
+
+        Socket-level failures (refused, unroutable, reset during the
+        handshake) are transient-by-assumption and retried up to
+        ``connect_retries`` times with exponential backoff; an AUTH or
+        TLS *rejection* is deterministic and fails the endpoint
+        immediately -- retrying a wrong token only hammers the server's
+        auth-failure counter.
+        """
+        delay = self.connect_backoff
+        last: Optional[Exception] = None
+        for attempt in range(self.connect_retries + 1):
+            if state.failure is not None:
+                return False
+            try:
+                endpoint.base.connect()
+                return True
+            except RemoteError as exc:
+                last = exc
+                if not isinstance(exc.__cause__, OSError):
+                    break  # deterministic refusal (auth/TLS): no retry
+                if attempt < self.connect_retries:
+                    state.note_connect_retry()
+                    time.sleep(delay)
+                    delay *= 2
+        endpoint.alive = False
+        state.endpoint_lost(endpoint.index, last)
+        return False
+
     def _serve_endpoint(self, endpoint: _Endpoint, state: _RunState,
                         nonce: int, collect: bool) -> None:
+        if not self._connect_endpoint(endpoint, state):
+            return
         while True:
             index = state.take(endpoint.index)
             if index is None:
@@ -545,6 +633,8 @@ class RemoteWorkerPool:
         metrics.gauge("parallel.remote.endpoints").set(len(endpoints))
         metrics.counter("parallel.remote.shards").inc(len(outcomes))
         metrics.counter("parallel.remote.retries").inc(state.retries)
+        metrics.counter("parallel.remote.connect_retries").inc(
+            state.connect_retries)
         metrics.counter("parallel.remote.endpoint_failures").inc(
             state.endpoint_failures)
         metrics.counter("parallel.remote.pool_wall_seconds").inc(pool_wall)
@@ -593,7 +683,11 @@ def remote_fault_simulate(bench: str,
                           shards: Optional[int] = None,
                           drop_detected: bool = True,
                           pool: Optional[RemoteWorkerPool] = None,
-                          engine: str = "event") -> FaultSimReport:
+                          engine: str = "event",
+                          token: Optional[str] = None,
+                          tls_ca: Optional[str] = None,
+                          server_hostname: Optional[str] = None
+                          ) -> FaultSimReport:
     """Fault-simulate ``bench`` across a farm of remote workers.
 
     The client only needs the bench's *name* and fault names; both
@@ -605,7 +699,8 @@ def remote_fault_simulate(bench: str,
     """
     engine = resolve_engine(engine)
     if pool is None:
-        pool = RemoteWorkerPool(endpoints)
+        pool = RemoteWorkerPool(endpoints, token=token, tls_ca=tls_ca,
+                                server_hostname=server_hostname)
     if netlist is None:
         netlist = resolve_bench(bench)
     if fault_list is None:

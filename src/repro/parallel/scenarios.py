@@ -62,20 +62,18 @@ def reset_session_state() -> None:
     a worker's scenario identical to one run in a fresh process, no
     matter what the parent ran before forking.
     """
+    import importlib
     import itertools
 
     from ..bench import scenarios as bench_scenarios
-    from ..core import module, scheduler
-    from ..ip import component, negotiation
-    from ..rmi import protocol
+    from ..server.session import COUNTER_SITES
 
-    protocol._call_ids = itertools.count(1)
-    component._session_ids = itertools.count(1)
-    negotiation._session_counter = itertools.count(1)
-    # Scheduler/module ids are marshalled into per-pattern session names
-    # ("session1.s9"), so a stale counter changes frame sizes too.
-    scheduler._scheduler_ids = itertools.count(1)
-    module._module_ids = itertools.count(1)
+    # The authoritative counter list lives in repro.server.session so
+    # the async server's per-connection isolation and this worker reset
+    # can never cover different sites.
+    for module_name, attr in COUNTER_SITES:
+        setattr(importlib.import_module(module_name), attr,
+                itertools.count(1))
     bench_scenarios.shared_provider.cache_clear()
 
 

@@ -3,8 +3,9 @@
 from .batching import DEFAULT_MAX_BATCH, BatchingTransport
 from .caching import PURE_METHODS, CachePolicy, CachingTransport
 from .marshal import marshal, payload_size, register_value_type, unmarshal
-from .protocol import (BatchReply, BatchRequest, CallReply, CallRequest,
-                       decode_request)
+from .protocol import (AuthRequest, BatchReply, BatchRequest, CallReply,
+                       CallRequest, decode_request)
+from .tlsconfig import client_ssl_context, server_ssl_context
 from .registry import Binding, Registry
 from .security import SecurityPolicy, default_policy_for
 from .server import JavaCADServer, ServerCallContext, current_server_context
@@ -16,8 +17,9 @@ from .wire import (WIRE_OPTIONS, WireOptions, base_transport_of,
 
 __all__ = [
     "marshal", "payload_size", "register_value_type", "unmarshal",
-    "BatchReply", "BatchRequest", "CallReply", "CallRequest",
-    "decode_request",
+    "AuthRequest", "BatchReply", "BatchRequest", "CallReply",
+    "CallRequest", "decode_request",
+    "client_ssl_context", "server_ssl_context",
     "Binding", "Registry",
     "SecurityPolicy", "default_policy_for",
     "JavaCADServer", "ServerCallContext", "current_server_context",

@@ -166,11 +166,53 @@ class BatchReply:
                           for item in wire["replies"]))
 
 
-def decode_request(data: bytes):
-    """Decode an incoming request frame: a single call or a batch.
+@dataclass(frozen=True)
+class AuthRequest:
+    """An AUTH frame: the first frame on an authenticated connection.
 
-    The TCP accept loop uses this so one socket carries both frame
-    kinds interchangeably.
+    Carries a shared bearer token; the server answers with an ordinary
+    :class:`CallReply` (``ok=True`` on acceptance) so clients reuse the
+    reply decoding they already have.  Servers that require a token
+    refuse every other frame kind until an AUTH frame has been
+    accepted, which is what keeps unauthenticated traffic away from
+    ``dispatch`` entirely.  Token comparison on the server side is
+    constant-time (:func:`hmac.compare_digest`), so the handshake does
+    not leak prefix-match timing.
+    """
+
+    token: str
+    call_id: int = field(default_factory=lambda: next(_call_ids))
+
+    def to_wire(self) -> Dict[str, Any]:
+        """The AUTH frame as a marshallable dict."""
+        return {
+            "kind": "auth",
+            "token": self.token,
+            "id": self.call_id,
+        }
+
+    def encode(self) -> bytes:
+        """Marshal to wire bytes."""
+        return marshal(self.to_wire())
+
+    @staticmethod
+    def from_wire(wire: Any) -> "AuthRequest":
+        """Rebuild an AUTH frame from its marshallable dict form."""
+        if not isinstance(wire, dict) or wire.get("kind") != "auth":
+            raise MarshalError(f"not an auth request: {wire!r}")
+        return AuthRequest(token=str(wire["token"]), call_id=wire["id"])
+
+    @staticmethod
+    def decode(data: bytes) -> "AuthRequest":
+        """Rebuild an AUTH frame from wire bytes."""
+        return AuthRequest.from_wire(unmarshal(data))
+
+
+def decode_request(data: bytes):
+    """Decode an incoming request frame: a call, a batch, or AUTH.
+
+    The TCP accept loops (blocking and async) use this so one socket
+    carries every frame kind interchangeably.
     """
     wire = unmarshal(data)
     if isinstance(wire, dict) and wire.get("kind") == "batch":
@@ -179,4 +221,6 @@ def decode_request(data: bytes):
         if not calls:
             raise MarshalError("BATCH frame carries no calls")
         return BatchRequest(calls=calls, batch_id=wire["id"])
+    if isinstance(wire, dict) and wire.get("kind") == "auth":
+        return AuthRequest.from_wire(wire)
     return CallRequest.from_wire(wire)

@@ -21,14 +21,15 @@ from __future__ import annotations
 import socket
 import struct
 import threading
+import time
 from typing import Any, Optional, Sequence, Tuple
 
 from ..core.errors import RemoteError
 from ..net.clock import CostModel, VirtualClock
 from ..net.model import NetworkModel
 from ..telemetry.runtime import TELEMETRY
-from .protocol import (BatchReply, BatchRequest, CallReply, CallRequest,
-                       decode_request)
+from .protocol import (AuthRequest, BatchReply, BatchRequest, CallReply,
+                       CallRequest, decode_request)
 from .registry import Binding, Registry
 
 _thread_state = threading.local()
@@ -67,6 +68,7 @@ class JavaCADServer:
         self._tcp_thread: Optional[threading.Thread] = None
         self._tcp_stop = threading.Event()
         self._tcp_connections: set = set()
+        self._tcp_workers: set = set()
         self._tcp_lock = threading.Lock()
         self.calls_served = 0
 
@@ -196,11 +198,20 @@ class JavaCADServer:
         self._tcp_thread.start()
         return server_socket.getsockname()
 
-    def stop_tcp(self) -> None:
-        """Stop the TCP acceptor and close every open connection."""
+    def stop_tcp(self, join_timeout: float = 2.0) -> None:
+        """Stop the TCP acceptor and close every open connection.
+
+        Shutdown order matters: the stop event is set (and the accept
+        thread joined) *before* the listening socket closes, so an
+        in-flight ``accept`` can never raise into the accept thread
+        from a socket torn down under it.  Connection worker threads
+        are then joined against one shared deadline -- a wedged servant
+        cannot hang shutdown forever, but a healthy one gets to finish
+        writing its last reply.
+        """
         self._tcp_stop.set()
         if self._tcp_thread is not None:
-            self._tcp_thread.join(timeout=2.0)
+            self._tcp_thread.join(timeout=join_timeout)
             self._tcp_thread = None
         if self._tcp_socket is not None:
             self._tcp_socket.close()
@@ -208,12 +219,17 @@ class JavaCADServer:
         with self._tcp_lock:
             connections = list(self._tcp_connections)
             self._tcp_connections.clear()
+            workers = list(self._tcp_workers)
+            self._tcp_workers.clear()
         for connection in connections:
             try:
                 connection.shutdown(socket.SHUT_RDWR)
             except OSError:
                 pass
             connection.close()
+        deadline = time.monotonic() + join_timeout
+        for worker in workers:
+            worker.join(timeout=max(0.0, deadline - time.monotonic()))
 
     def _tcp_accept_loop(self) -> None:
         assert self._tcp_socket is not None
@@ -224,9 +240,16 @@ class JavaCADServer:
                 continue
             except OSError:
                 break
+            if self._tcp_stop.is_set():
+                # Stop raced the accept: refuse the connection instead
+                # of spawning a worker that shutdown will not see.
+                connection.close()
+                break
             worker = threading.Thread(
                 target=self._tcp_serve_connection, args=(connection,),
                 daemon=True)
+            with self._tcp_lock:
+                self._tcp_workers.add(worker)
             worker.start()
 
     def _tcp_serve_connection(self, connection: socket.socket) -> None:
@@ -239,7 +262,14 @@ class JavaCADServer:
                     if frame is None:
                         return
                     request = decode_request(frame)
-                    if isinstance(request, BatchRequest):
+                    if isinstance(request, AuthRequest):
+                        # The blocking server keeps no token; AUTH
+                        # trivially succeeds so token-configured
+                        # clients interoperate.  Token *enforcement*
+                        # lives in repro.server.AsyncRMIServer.
+                        payload = CallReply(request.call_id, ok=True,
+                                            result="ok").encode()
+                    elif isinstance(request, BatchRequest):
                         batch_reply = self.dispatch_batch(request)
                         payload = _encode_batch_reply(request, batch_reply)
                     else:
@@ -251,6 +281,7 @@ class JavaCADServer:
         finally:
             with self._tcp_lock:
                 self._tcp_connections.discard(connection)
+                self._tcp_workers.discard(threading.current_thread())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"JavaCADServer({self.host_name!r}, "

@@ -1,0 +1,67 @@
+"""TLS context builders for the RMI wire.
+
+The FMI co-simulation literature motivates protecting IP traffic on
+the link itself: the same CALL/BATCH/AUTH frames travel unchanged, but
+the byte stream is wrapped in TLS.  These helpers are the one place
+that knows how to build correctly hardened :class:`ssl.SSLContext`
+objects for each side of the wire, so servers
+(:class:`repro.server.AsyncRMIServer`), client transports
+(:class:`repro.rmi.transport.TcpTransport`) and the CLI all agree on
+the configuration.
+
+A deployment needs three files at most:
+
+* ``--tls-cert`` / ``--tls-key`` on the server: its certificate chain
+  and private key;
+* ``--tls-ca`` (or ``--remote-ca``) on clients: the CA bundle -- for a
+  self-signed deployment, the server certificate itself -- that the
+  client requires the server to prove itself against.
+
+Client contexts always verify the peer and its hostname; there is no
+"insecure" switch, because an unauthenticated TLS link would defeat
+the IP-safeguarding purpose of turning TLS on at all.
+"""
+
+from __future__ import annotations
+
+import ssl
+from typing import Optional
+
+from ..core.errors import RemoteError
+
+
+def server_ssl_context(certfile: str, keyfile: str) -> ssl.SSLContext:
+    """A server-side TLS context serving ``certfile``/``keyfile``.
+
+    Raises :class:`~repro.core.errors.RemoteError` on unreadable or
+    mismatched certificate material so a misconfigured worker fails at
+    startup, not at the first client connect.
+    """
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.minimum_version = ssl.TLSVersion.TLSv1_2
+    try:
+        context.load_cert_chain(certfile=certfile, keyfile=keyfile)
+    except (OSError, ssl.SSLError) as exc:
+        raise RemoteError(
+            f"cannot load TLS certificate {certfile!r} / key "
+            f"{keyfile!r}: {exc}") from exc
+    return context
+
+
+def client_ssl_context(cafile: Optional[str] = None) -> ssl.SSLContext:
+    """A verifying client-side TLS context.
+
+    ``cafile`` is the CA bundle the server certificate must chain to
+    (for self-signed deployments, the server certificate itself); when
+    omitted the system trust store is used.  Hostname checking stays
+    on -- certificates for farm workers should carry the names or IP
+    addresses clients dial (the bundled test certificate covers
+    ``localhost`` and ``127.0.0.1``).
+    """
+    try:
+        context = ssl.create_default_context(cafile=cafile)
+    except (OSError, ssl.SSLError) as exc:
+        raise RemoteError(
+            f"cannot load TLS CA bundle {cafile!r}: {exc}") from exc
+    context.minimum_version = ssl.TLSVersion.TLSv1_2
+    return context

@@ -16,6 +16,7 @@ reads back.
 from __future__ import annotations
 
 import socket
+import ssl
 import struct
 import threading
 import time
@@ -27,7 +28,8 @@ from ..net.clock import CostModel, VirtualClock
 from ..net.model import NetworkModel
 from ..telemetry.metrics import DEFAULT_BYTES_BUCKETS
 from ..telemetry.runtime import TELEMETRY
-from .protocol import BatchReply, BatchRequest, CallReply, CallRequest
+from .protocol import (AuthRequest, BatchReply, BatchRequest, CallReply,
+                       CallRequest)
 from .security import SecurityPolicy
 from .server import JavaCADServer
 
@@ -35,6 +37,13 @@ _BATCH_SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
 
 DEFAULT_TCP_TIMEOUT = 5.0
 """Socket timeout (seconds) used when no override is configured."""
+
+DEFAULT_CONNECT_TIMEOUT = 1.0
+"""Timeout (seconds) for the initial TCP connect.  Deliberately much
+shorter than :data:`DEFAULT_TCP_TIMEOUT`: connecting to a live host on
+a sane network takes milliseconds, so a dead or unroutable endpoint
+should fail in about a second rather than inheriting the per-call
+timeout sized for slow servant work."""
 
 
 @dataclass
@@ -303,31 +312,100 @@ class TcpTransport(Transport):
     frames, timeouts) are counted in ``stats.errors`` and tear down the
     cached socket, so the next invoke reconnects from a clean state
     instead of reusing a desynchronized stream.
+
+    Security on the wire is optional and composes:
+
+    * ``ssl_context`` wraps the socket in TLS before any frame moves
+      (build one with :func:`repro.rmi.tlsconfig.client_ssl_context`);
+    * ``token`` sends an AUTH frame as the very first frame after
+      connecting and raises :class:`~repro.core.errors.RemoteError` if
+      the server refuses it -- the transport never issues application
+      calls on an unauthenticated connection.
+
+    The initial connect (plus TLS and AUTH handshake) runs under the
+    shorter ``connect_timeout`` so dead hosts fail fast; established
+    calls use ``timeout``.
     """
 
     def __init__(self, host: str, port: int,
                  policy: Optional[SecurityPolicy] = None,
-                 timeout: Optional[float] = None):
+                 timeout: Optional[float] = None,
+                 connect_timeout: Optional[float] = None,
+                 ssl_context: Optional[ssl.SSLContext] = None,
+                 server_hostname: Optional[str] = None,
+                 token: Optional[str] = None):
         super().__init__()
         self.host = host
         self.port = port
         self.policy = policy
-        if timeout is None:
+        if timeout is None or connect_timeout is None:
             # Deferred import: wire.py imports this module at load time.
             from .wire import WIRE_OPTIONS
-            timeout = WIRE_OPTIONS.rmi_timeout
+            if timeout is None:
+                timeout = WIRE_OPTIONS.rmi_timeout
+            if connect_timeout is None:
+                connect_timeout = WIRE_OPTIONS.connect_timeout
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.ssl_context = ssl_context
+        self.server_hostname = server_hostname or host
+        self.token = token
         self._socket: Optional[socket.socket] = None
         self._lock = threading.Lock()
+
+    def connect(self) -> None:
+        """Eagerly open (and authenticate) the connection.
+
+        Normally the socket opens lazily on the first invoke; callers
+        that want connect failures surfaced early -- e.g. the remote
+        pool's bounded-retry startup loop -- call this instead.  Raises
+        :class:`~repro.core.errors.RemoteError` on refusal, TLS
+        failure, or a rejected AUTH token.
+        """
+        with self._lock:
+            try:
+                self._ensure_socket()
+            except OSError as exc:
+                self._close_locked()
+                raise RemoteError(
+                    f"cannot connect to {self.host}:{self.port}: "
+                    f"{exc}") from exc
+            except RemoteError:
+                self._close_locked()
+                raise
 
     def _ensure_socket(self) -> socket.socket:
         if self._socket is None:
             if self.policy is not None:
                 self.policy.check_connect(self.host)
             connection = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout)
+                (self.host, self.port), timeout=self.connect_timeout)
+            try:
+                if self.ssl_context is not None:
+                    connection = self.ssl_context.wrap_socket(
+                        connection, server_hostname=self.server_hostname)
+                connection.settimeout(self.timeout)
+                if self.token is not None:
+                    self._authenticate(connection)
+            except BaseException:
+                connection.close()
+                raise
             self._socket = connection
         return self._socket
+
+    def _authenticate(self, connection: socket.socket) -> None:
+        """Run the AUTH handshake as the connection's first frames."""
+        payload = AuthRequest(self.token or "").encode()
+        connection.sendall(struct.pack(">I", len(payload)) + payload)
+        reply = CallReply.decode(self._read_frame(connection))
+        if not reply.ok:
+            if TELEMETRY.enabled:
+                TELEMETRY.metrics.counter(
+                    "rmi.auth.rejections",
+                    labels={"transport": "tcp"}).inc()
+            raise RemoteError(
+                f"authentication rejected by {self.host}:{self.port}: "
+                f"{reply.error or 'invalid token'}")
 
     def _close_locked(self) -> None:
         if self._socket is not None:

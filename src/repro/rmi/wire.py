@@ -21,7 +21,8 @@ from typing import Callable, Iterator, Optional
 from ..cache import ResponseCache
 from .batching import DEFAULT_MAX_BATCH, BatchingTransport
 from .caching import CachePolicy, CachingTransport
-from .transport import DEFAULT_TCP_TIMEOUT, Transport
+from .transport import (DEFAULT_CONNECT_TIMEOUT, DEFAULT_TCP_TIMEOUT,
+                        Transport)
 
 
 class WireOptions:
@@ -38,6 +39,12 @@ class WireOptions:
         instances constructed without an explicit override (the CLI's
         ``--rmi-timeout`` flag); slow providers and CI can raise it
         without code changes."""
+        self.connect_timeout: float = DEFAULT_CONNECT_TIMEOUT
+        """Timeout for the initial TCP connect (and TLS/AUTH
+        handshake), separate from ``rmi_timeout``: a dead or
+        unroutable host should fail in about a second instead of
+        inheriting the full per-call timeout meant for slow servant
+        work.  The CLI's ``--rmi-connect-timeout`` flag overrides it."""
         self.cache_time_fn: Optional[Callable[[], float]] = None
         """Clock driving response-cache TTL expiry.  ``None`` lets each
         cache fall back to ``time.monotonic`` -- correct for real
@@ -54,6 +61,7 @@ class WireOptions:
                   cache_entries: Optional[int] = None,
                   cache_ttl: Optional[float] = None,
                   rmi_timeout: Optional[float] = None,
+                  connect_timeout: Optional[float] = None,
                   cache_time_fn: Optional[Callable[[], float]] = None
                   ) -> None:
         """Update the defaults (None leaves a field unchanged)."""
@@ -72,6 +80,12 @@ class WireOptions:
                 raise ValueError(
                     f"rmi_timeout must be positive, got {rmi_timeout}")
             self.rmi_timeout = rmi_timeout
+        if connect_timeout is not None:
+            if connect_timeout <= 0:
+                raise ValueError(
+                    f"connect_timeout must be positive, "
+                    f"got {connect_timeout}")
+            self.connect_timeout = connect_timeout
         if cache_time_fn is not None:
             self.cache_time_fn = cache_time_fn
 
@@ -91,22 +105,24 @@ def wire_session(batching: Optional[bool] = None,
                  cache_entries: Optional[int] = None,
                  cache_ttl: Optional[float] = None,
                  rmi_timeout: Optional[float] = None,
+                 connect_timeout: Optional[float] = None,
                  cache_time_fn: Optional[Callable[[], float]] = None
                  ) -> Iterator[WireOptions]:
     """Apply wire options for a block, restoring the previous state."""
     saved = (WIRE_OPTIONS.batching, WIRE_OPTIONS.caching,
              WIRE_OPTIONS.max_batch, WIRE_OPTIONS.cache_entries,
              WIRE_OPTIONS.cache_ttl, WIRE_OPTIONS.rmi_timeout,
-             WIRE_OPTIONS.cache_time_fn)
+             WIRE_OPTIONS.connect_timeout, WIRE_OPTIONS.cache_time_fn)
     WIRE_OPTIONS.configure(batching, caching, max_batch, cache_entries,
-                           cache_ttl, rmi_timeout, cache_time_fn)
+                           cache_ttl, rmi_timeout, connect_timeout,
+                           cache_time_fn)
     try:
         yield WIRE_OPTIONS
     finally:
         (WIRE_OPTIONS.batching, WIRE_OPTIONS.caching,
          WIRE_OPTIONS.max_batch, WIRE_OPTIONS.cache_entries,
          WIRE_OPTIONS.cache_ttl, WIRE_OPTIONS.rmi_timeout,
-         WIRE_OPTIONS.cache_time_fn) = saved
+         WIRE_OPTIONS.connect_timeout, WIRE_OPTIONS.cache_time_fn) = saved
 
 
 def wrap_transport(base: Transport,

@@ -1,0 +1,15 @@
+"""repro.server: async multi-tenant front end for the RMI substrate."""
+
+from .async_server import (DEFAULT_DISPATCH_WORKERS, DEFAULT_DRAIN_TIMEOUT,
+                           DEFAULT_HANDSHAKE_TIMEOUT,
+                           DEFAULT_MAX_CONNECTIONS, AsyncRMIServer,
+                           ServerStats)
+from .session import (COUNTER_SITES, CounterSite, IsolationGate,
+                      SessionState)
+
+__all__ = [
+    "AsyncRMIServer", "ServerStats",
+    "DEFAULT_MAX_CONNECTIONS", "DEFAULT_DISPATCH_WORKERS",
+    "DEFAULT_HANDSHAKE_TIMEOUT", "DEFAULT_DRAIN_TIMEOUT",
+    "COUNTER_SITES", "CounterSite", "IsolationGate", "SessionState",
+]

@@ -1,0 +1,48 @@
+"""Session factories wiring the async server to real servant sets.
+
+The async front end keeps tenants apart with per-connection
+:class:`~repro.rmi.server.JavaCADServer` sessions.  This module builds
+the factories the CLI and benchmarks use:
+
+* every session gets its **own**
+  :class:`~repro.parallel.remote.FaultFarmServant`, because farm task
+  ids are client-chosen nonces (``farm<nonce>.<index>``) that collide
+  the moment two tenant processes share one servant;
+* expensive read-only servants (estimators, catalogs) are built once
+  in a ``shared`` base server and re-bound into every session by
+  reference -- their calls are pure, so sharing them is safe and keeps
+  per-connection setup at microseconds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from ..rmi.server import JavaCADServer
+
+
+def fault_farm_session_factory(shared: Optional[JavaCADServer] = None,
+                               host_name: str = "faultfarm.session"
+                               ) -> Callable[[], JavaCADServer]:
+    """A factory producing one fault-farm session server per tenant.
+
+    ``shared`` (optional) names a base server whose bindings -- assumed
+    read-only -- are re-bound into every session alongside the fresh
+    farm servant.
+    """
+    from ..parallel.remote import register_fault_farm
+
+    sessions = itertools.count(1)
+
+    def factory() -> JavaCADServer:
+        session = JavaCADServer(f"{host_name}.{next(sessions)}")
+        if shared is not None:
+            for name in shared.registry.names():
+                binding = shared.registry.lookup(name)
+                session.rebind(name, binding.servant,
+                               sorted(binding.methods))
+        register_fault_farm(session)
+        return session
+
+    return factory

@@ -1,0 +1,100 @@
+"""Per-connection session state: isolated id namespaces.
+
+Several process-wide ``itertools.count`` counters leak into marshalled
+frame *sizes* (call ids, session names, scheduler/module ids inside
+per-pattern session strings), and frame sizes feed the virtual-clock
+network model.  The parallel layer solved this for worker *processes*
+with :func:`repro.parallel.scenarios.reset_session_state`; a
+multi-tenant server needs the same guarantee for concurrent
+*connections* inside one process.
+
+:data:`COUNTER_SITES` is the single authoritative list of those
+counters -- ``reset_session_state`` iterates it too, so the farm's
+reset machinery and the async server's session isolation can never
+drift apart.  A :class:`SessionState` owns one fresh counter per site;
+an :class:`IsolationGate` swaps a session's counters into the module
+globals around each dispatch, under a lock, so every tenant observes
+ids 1, 2, 3, ... exactly as if it were alone in a fresh process.
+
+The gate serializes *isolated* dispatches against each other.  That is
+deliberate and cheap: servant work is CPU-bound Python, which the GIL
+serializes anyway, so the lock costs almost nothing in wall-clock
+throughput while buying byte-identical per-tenant results.  Servers
+that prefer raw concurrency over byte-identity run with
+``isolate_sessions=False`` and skip the gate entirely.
+
+Scope note: the namespaces are swapped only around *server-side*
+dispatch.  Client stacks living in the same interpreter (in-process
+tests) allocate ids outside the gate, exactly as they would in a
+separate client process.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+import itertools
+import threading
+from typing import Dict, Iterator, Tuple
+
+CounterSite = Tuple[str, str]
+
+COUNTER_SITES: Tuple[CounterSite, ...] = (
+    ("repro.rmi.protocol", "_call_ids"),
+    ("repro.ip.component", "_session_ids"),
+    ("repro.ip.negotiation", "_session_counter"),
+    # Scheduler/module ids are marshalled into per-pattern session
+    # names ("session1.s9"), so a stale counter changes frame sizes.
+    ("repro.core.scheduler", "_scheduler_ids"),
+    ("repro.core.module", "_module_ids"),
+)
+"""Every process-wide id counter whose value leaks into frame sizes.
+
+Shared by :func:`repro.parallel.scenarios.reset_session_state` (which
+rewinds them in a forked worker) and :class:`SessionState` (which
+gives each server connection a private set)."""
+
+
+class SessionState:
+    """One tenant's private id namespaces, persistent across calls.
+
+    Counters advance in place while swapped in, so a session's second
+    dispatch continues where its first left off -- the sequence a
+    fresh single-tenant process would produce.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[CounterSite, "itertools.count"] = {
+            site: itertools.count(1) for site in COUNTER_SITES}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SessionState({len(self.counters)} namespaces)"
+
+
+class IsolationGate:
+    """Swaps a session's counters into the module globals, serialized.
+
+    ``with gate.isolated(state):`` installs ``state``'s counters,
+    runs the block, then restores the previous globals.  The lock
+    makes the swap-run-restore sequence atomic across threads, which
+    is what keeps two tenants' dispatches from consuming each other's
+    ids.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    @contextlib.contextmanager
+    def isolated(self, state: SessionState) -> Iterator[None]:
+        with self._lock:
+            saved = {}
+            for module_name, attr in COUNTER_SITES:
+                module = importlib.import_module(module_name)
+                saved[(module_name, attr)] = getattr(module, attr)
+                setattr(module, attr, state.counters[(module_name, attr)])
+            try:
+                yield
+            finally:
+                for (module_name, attr), counter in saved.items():
+                    module = importlib.import_module(module_name)
+                    setattr(module, attr, counter)

@@ -1,0 +1,112 @@
+"""Session isolation: COUNTER_SITES, SessionState, IsolationGate."""
+
+import importlib
+import itertools
+
+import pytest
+
+from repro.parallel.scenarios import reset_session_state
+from repro.server import COUNTER_SITES, IsolationGate, SessionState
+
+
+@pytest.fixture
+def preserved_counters():
+    """Snapshot and restore the process-global counters around a test."""
+    saved = {}
+    for module_name, attr in COUNTER_SITES:
+        module = importlib.import_module(module_name)
+        saved[(module_name, attr)] = getattr(module, attr)
+    yield saved
+    for (module_name, attr), counter in saved.items():
+        setattr(importlib.import_module(module_name), attr, counter)
+
+
+def _site_value(site):
+    module_name, attr = site
+    return getattr(importlib.import_module(module_name), attr)
+
+
+class TestCounterSites:
+    def test_every_site_exists_and_counts(self):
+        for site in COUNTER_SITES:
+            counter = _site_value(site)
+            assert isinstance(counter, type(itertools.count())), site
+
+    def test_the_five_known_leak_sites_are_covered(self):
+        # The exhaustive list the parallel layer has always reset; a
+        # new id counter that leaks into frame sizes must be added
+        # HERE, not just in reset_session_state.
+        assert set(COUNTER_SITES) == {
+            ("repro.rmi.protocol", "_call_ids"),
+            ("repro.ip.component", "_session_ids"),
+            ("repro.ip.negotiation", "_session_counter"),
+            ("repro.core.scheduler", "_scheduler_ids"),
+            ("repro.core.module", "_module_ids"),
+        }
+
+    def test_reset_session_state_rewinds_every_site(
+            self, preserved_counters):
+        for site in COUNTER_SITES:
+            next(_site_value(site))  # advance away from 1
+        reset_session_state()
+        for site in COUNTER_SITES:
+            assert next(_site_value(site)) == 1, site
+
+
+class TestSessionState:
+    def test_fresh_namespaces_start_at_one(self):
+        state = SessionState()
+        assert set(state.counters) == set(COUNTER_SITES)
+        for site in COUNTER_SITES:
+            assert next(state.counters[site]) == 1
+
+    def test_states_are_independent(self):
+        first, second = SessionState(), SessionState()
+        site = COUNTER_SITES[0]
+        assert [next(first.counters[site]) for _ in range(3)] == [1, 2, 3]
+        assert next(second.counters[site]) == 1
+
+
+class TestIsolationGate:
+    def test_swaps_and_restores_globals(self, preserved_counters):
+        gate = IsolationGate()
+        state = SessionState()
+        site = COUNTER_SITES[0]
+        outside_before = _site_value(site)
+        with gate.isolated(state):
+            assert _site_value(site) is state.counters[site]
+            assert next(_site_value(site)) == 1
+        assert _site_value(site) is outside_before
+
+    def test_session_sequences_resume_across_entries(
+            self, preserved_counters):
+        gate = IsolationGate()
+        state = SessionState()
+        site = COUNTER_SITES[0]
+        with gate.isolated(state):
+            assert next(_site_value(site)) == 1
+        with gate.isolated(state):
+            assert next(_site_value(site)) == 2
+
+    def test_two_tenants_each_see_fresh_process_ids(
+            self, preserved_counters):
+        gate = IsolationGate()
+        tenants = [SessionState(), SessionState()]
+        site = COUNTER_SITES[0]
+        seen = {0: [], 1: []}
+        for _ in range(3):
+            for tenant, state in enumerate(tenants):
+                with gate.isolated(state):
+                    seen[tenant].append(next(_site_value(site)))
+        assert seen[0] == [1, 2, 3]
+        assert seen[1] == [1, 2, 3]
+
+    def test_restores_on_exception(self, preserved_counters):
+        gate = IsolationGate()
+        state = SessionState()
+        site = COUNTER_SITES[0]
+        outside_before = _site_value(site)
+        with pytest.raises(RuntimeError):
+            with gate.isolated(state):
+                raise RuntimeError("servant fault")
+        assert _site_value(site) is outside_before
