@@ -350,7 +350,7 @@ def _build_server_ssl(args: argparse.Namespace):
 def _cmd_faultworker(args: argparse.Namespace) -> int:
     """Serve fault-simulation shards to remote `faultsim --remote` runs."""
     if args.use_async or args.tls_cert or args.tls_key \
-            or args.auth_token is not None:
+            or args.auth_token is not None or args.dispatch != "gate":
         return _cmd_faultworker_async(args)
     from .parallel.remote import register_fault_farm
     from .rmi.server import JavaCADServer
@@ -373,10 +373,10 @@ def _cmd_faultworker(args: argparse.Namespace) -> int:
 def _cmd_faultworker_async(args: argparse.Namespace) -> int:
     """The faultworker on the asyncio multi-tenant front end.
 
-    Selected by ``--async`` (or implicitly by any TLS/auth flag, which
-    only this front end enforces).  Every connection gets its own farm
-    servant, so concurrent ``faultsim --remote`` clients cannot mix
-    task state.
+    Selected by ``--async`` (or implicitly by any TLS/auth flag or a
+    non-default ``--dispatch`` tier, which only this front end
+    supports).  Every connection gets its own farm servant, so
+    concurrent ``faultsim --remote`` clients cannot mix task state.
     """
     from .server import AsyncRMIServer
     from .server.farm import fault_farm_session_factory
@@ -391,6 +391,7 @@ def _cmd_faultworker_async(args: argparse.Namespace) -> int:
         auth_token=args.auth_token,
         ssl_context=ssl_context,
         idle_timeout=args.idle_timeout,
+        dispatch=args.dispatch,
         name=f"faultfarm@{args.host}:{args.port}")
     host, port = server.start()
     # Same readiness line as the blocking worker, so scripts and CI
@@ -433,6 +434,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         auth_token=args.auth_token,
         ssl_context=ssl_context,
         idle_timeout=args.idle_timeout,
+        dispatch=args.dispatch,
         name=f"serve@{args.host}:{args.port}")
     host, port = server.start()
     security = []
@@ -836,6 +838,13 @@ def build_parser() -> argparse.ArgumentParser:
                              metavar="S",
                              help="drop connections idle for S seconds "
                                   "(async front end; default: never)")
+    faultworker.add_argument("--dispatch", default="gate",
+                             choices=["gate", "affinity", "process"],
+                             help="session dispatch tier: gate (one "
+                                  "global lock), affinity (per-session "
+                                  "threads), process (forked workers, "
+                                  "multi-core); non-gate implies "
+                                  "--async")
     faultworker.set_defaults(fn=_cmd_faultworker)
 
     serve = subparsers.add_parser(
@@ -870,6 +879,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="S",
                        help="drop connections idle for S seconds "
                             "(default: never)")
+    serve.add_argument("--dispatch", default="gate",
+                       choices=["gate", "affinity", "process"],
+                       help="session dispatch tier: gate (one global "
+                            "lock), affinity (per-session threads), "
+                            "process (forked workers, multi-core)")
     serve.set_defaults(fn=_cmd_serve)
 
     atpg = subparsers.add_parser(

@@ -570,9 +570,16 @@ class RemoteWorkerPool:
             try:
                 endpoint.base.connect()
                 return True
-            except RemoteError as exc:
+            except (RemoteError, OSError) as exc:
                 last = exc
-                if not isinstance(exc.__cause__, OSError):
+                # A bare OSError (ConnectionRefusedError and friends
+                # escaping the eager connect() path unwrapped) is just
+                # as transient as one wrapped in a RemoteError; only a
+                # RemoteError with a non-socket cause is a
+                # deterministic refusal.
+                transient = (isinstance(exc, OSError)
+                             or isinstance(exc.__cause__, OSError))
+                if not transient:
                     break  # deterministic refusal (auth/TLS): no retry
                 if attempt < self.connect_retries:
                     state.note_connect_retry()

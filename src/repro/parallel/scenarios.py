@@ -61,6 +61,14 @@ def reset_session_state() -> None:
     shared provider carries accumulated billing.  Resetting both makes
     a worker's scenario identical to one run in a fresh process, no
     matter what the parent ran before forking.
+
+    This is a *worker-side* reset: it rebinds each counter site to a
+    fresh ``itertools.count``, evicting whatever the site held --
+    including the thread-local proxies an affinity-tier
+    :class:`~repro.server.AsyncRMIServer` installs.  That is correct
+    in a freshly-forked worker (the process dispatch tier runs this as
+    its worker initializer for exactly that reason), but do not call
+    it in a parent process that is concurrently serving sessions.
     """
     import importlib
     import itertools

@@ -2,14 +2,18 @@
 
 from .async_server import (DEFAULT_DISPATCH_WORKERS, DEFAULT_DRAIN_TIMEOUT,
                            DEFAULT_HANDSHAKE_TIMEOUT,
-                           DEFAULT_MAX_CONNECTIONS, AsyncRMIServer,
-                           ServerStats)
+                           DEFAULT_MAX_CONNECTIONS, DISPATCH_TIERS,
+                           AsyncRMIServer, ServerStats)
+from .dispatch import ProcessDispatcher
 from .session import (COUNTER_SITES, CounterSite, IsolationGate,
-                      SessionState)
+                      SessionGate, SessionState, install_site_proxies,
+                      uninstall_site_proxies)
 
 __all__ = [
-    "AsyncRMIServer", "ServerStats",
+    "AsyncRMIServer", "ServerStats", "ProcessDispatcher",
     "DEFAULT_MAX_CONNECTIONS", "DEFAULT_DISPATCH_WORKERS",
     "DEFAULT_HANDSHAKE_TIMEOUT", "DEFAULT_DRAIN_TIMEOUT",
-    "COUNTER_SITES", "CounterSite", "IsolationGate", "SessionState",
+    "DISPATCH_TIERS",
+    "COUNTER_SITES", "CounterSite", "IsolationGate", "SessionGate",
+    "SessionState", "install_site_proxies", "uninstall_site_proxies",
 ]

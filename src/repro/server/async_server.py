@@ -10,8 +10,13 @@ the front end:
 
 * an :mod:`asyncio` event loop owns every socket -- thousands of idle
   connections cost file descriptors, not threads;
-* servant work runs on a **bounded thread pool** via
-  ``run_in_executor`` so a slow estimator never stalls the loop;
+* servant work leaves the loop through a selectable **dispatch tier**
+  (``dispatch=``): ``gate`` runs on a bounded shared thread pool with
+  one process-wide isolation lock, ``affinity`` pins each session to
+  its own single-thread executor with per-session locks only (tenants
+  never queue on each other), and ``process`` ships frames to forked
+  worker processes with sticky session routing so CPU-bound servant
+  work escapes the GIL entirely;
 * each connection gets an ordered three-stage pipeline (reader ->
   replier -> writer) with bounded queues, so a client that stops
   reading exerts backpressure instead of ballooning server memory;
@@ -32,6 +37,7 @@ from __future__ import annotations
 
 import asyncio
 import hmac
+import itertools
 import ssl
 import struct
 import threading
@@ -46,13 +52,29 @@ from ..rmi.protocol import (AuthRequest, BatchRequest, CallReply,
 from ..rmi.server import (JavaCADServer, _encode_batch_reply,
                           _encode_reply)
 from ..telemetry.runtime import TELEMETRY
-from .session import IsolationGate, SessionState
+from .dispatch import ProcessDispatcher
+from .session import (IsolationGate, SessionGate, SessionState,
+                      install_site_proxies, uninstall_site_proxies)
 
 DEFAULT_MAX_CONNECTIONS = 64
 DEFAULT_DISPATCH_WORKERS = 4
 DEFAULT_HANDSHAKE_TIMEOUT = 5.0
 DEFAULT_DRAIN_TIMEOUT = 5.0
 DEFAULT_QUEUE_DEPTH = 32
+
+DISPATCH_TIERS = ("gate", "affinity", "process")
+"""Selectable dispatch tiers, cheapest-setup first.
+
+``gate``: shared thread pool, one process-wide isolation lock --
+isolated dispatches serialize, which costs nothing while servants are
+I/O-light pure Python under the GIL but caps the server at one core.
+``affinity``: one dedicated single-thread executor per session with
+per-session locks over thread-local counter bindings -- independent
+tenants never queue on each other (a slow tenant no longer stalls the
+rest), though CPU-bound Python still shares the GIL.  ``process``:
+frames ship to forked worker processes with sticky session routing --
+CPU-bound servant work runs truly in parallel.  Every tier keeps each
+tenant byte-identical to a fresh-process serial run."""
 
 
 @dataclass
@@ -65,6 +87,7 @@ class ServerStats:
     connections_peak: int = 0
     sessions_started: int = 0
     auth_failures: int = 0
+    auth_refreshes: int = 0
     calls_served: int = 0
     batches_served: int = 0
     protocol_errors: int = 0
@@ -85,6 +108,7 @@ class ServerStats:
                 "connections_peak": self.connections_peak,
                 "sessions_started": self.sessions_started,
                 "auth_failures": self.auth_failures,
+                "auth_refreshes": self.auth_refreshes,
                 "calls_served": self.calls_served,
                 "batches_served": self.batches_served,
                 "protocol_errors": self.protocol_errors,
@@ -111,13 +135,18 @@ class _Connection:
     def __init__(self, server: "AsyncRMIServer",
                  reader: asyncio.StreamReader,
                  writer: asyncio.StreamWriter,
-                 session: JavaCADServer,
-                 state: Optional[SessionState]):
+                 session: Optional[JavaCADServer],
+                 state: Optional[SessionState],
+                 session_id: int):
         self.server = server
         self.reader = reader
         self.writer = writer
         self.session = session
         self.state = state
+        self.session_id = session_id
+        # Affinity tier: this session's dedicated executor + gate.
+        self.executor: Optional[ThreadPoolExecutor] = None
+        self.gate: Optional[SessionGate] = None
         self.pending: "asyncio.Queue[Optional[asyncio.Future[bytes]]]" = \
             asyncio.Queue(maxsize=server.max_pending)
         self.writes: "asyncio.Queue[Optional[bytes]]" = \
@@ -146,6 +175,16 @@ class AsyncRMIServer:
     connection dispatches against) or ``session_factory`` (a callable
     returning a *fresh* ``JavaCADServer`` per connection, for servants
     that keep per-tenant state such as the fault farm) must be given.
+
+    ``dispatch`` selects how servant work leaves the event loop (see
+    :data:`DISPATCH_TIERS`): ``gate`` (default) is the shared thread
+    pool behind the process-wide isolation lock, ``affinity`` pins
+    each session to a dedicated single-thread executor so tenants
+    never queue on each other, and ``process`` routes each session
+    stickily to one of ``dispatch_workers`` forked worker processes
+    (the session factory crosses by fork inheritance, so it need not
+    be picklable).  All tiers preserve per-tenant byte-identity with a
+    fresh-process serial run while ``isolate_sessions`` is on.
     """
 
     def __init__(self, server: Optional[JavaCADServer] = None, *,
@@ -159,6 +198,7 @@ class AsyncRMIServer:
                  handshake_timeout: float = DEFAULT_HANDSHAKE_TIMEOUT,
                  drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
                  dispatch_workers: int = DEFAULT_DISPATCH_WORKERS,
+                 dispatch: str = "gate",
                  max_pending: int = DEFAULT_QUEUE_DEPTH,
                  max_write_queue: int = DEFAULT_QUEUE_DEPTH,
                  isolate_sessions: bool = True,
@@ -169,6 +209,10 @@ class AsyncRMIServer:
         if max_connections < 1:
             raise ValueError(
                 f"max_connections must be >= 1, got {max_connections}")
+        if dispatch not in DISPATCH_TIERS:
+            raise ValueError(
+                f"unknown dispatch tier {dispatch!r}; expected one of "
+                f"{DISPATCH_TIERS}")
         self._shared_server = server
         self._session_factory = session_factory
         self.host = host
@@ -180,6 +224,7 @@ class AsyncRMIServer:
         self.handshake_timeout = handshake_timeout
         self.drain_timeout = drain_timeout
         self.dispatch_workers = dispatch_workers
+        self.dispatch_tier = dispatch
         self.max_pending = max_pending
         self.max_write_queue = max_write_queue
         self.isolate_sessions = isolate_sessions
@@ -187,6 +232,9 @@ class AsyncRMIServer:
         self.stats = ServerStats()
         self.address: Optional[Tuple[str, int]] = None
         self._gate = IsolationGate()
+        self._session_ids = itertools.count(1)
+        self._dispatcher: Optional[ProcessDispatcher] = None
+        self._proxied = False
         self._connections: Set[_Connection] = set()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop_event: Optional[asyncio.Event] = None
@@ -267,17 +315,49 @@ class AsyncRMIServer:
             max_workers=self.dispatch_workers,
             thread_name_prefix=f"{self.name}-dispatch")
         try:
+            if self.dispatch_tier == "affinity" and self.isolate_sessions:
+                install_site_proxies()
+                self._proxied = True
+            if self.dispatch_tier == "process":
+                factory = self._session_factory
+                if factory is None:
+                    # Shared-core mode: workers dispatch against their
+                    # fork-inherited copy of the shared server (its
+                    # servants must be per-call pure, the documented
+                    # contract for sharing them at all).
+                    shared = self._shared_server
+                    factory = lambda: shared  # noqa: E731
+                self._dispatcher = ProcessDispatcher(
+                    factory, self.dispatch_workers)
+                # Fork every worker before the first tenant arrives.
+                await asyncio.gather(*[
+                    asyncio.wrap_future(future)
+                    for future in self._dispatcher.warm_futures()])
             self._listener = await asyncio.start_server(
                 self._handle_connection, self.host, self.port,
                 ssl=self.ssl_context)
             sockname = self._listener.sockets[0].getsockname()
             self.address = (sockname[0], sockname[1])
+            if TELEMETRY.enabled:
+                TELEMETRY.metrics.gauge(
+                    "server.dispatch.workers",
+                    labels={"server": self.name,
+                            "tier": self.dispatch_tier}).set(
+                        self.max_connections
+                        if self.dispatch_tier == "affinity"
+                        else self.dispatch_workers)
             self._started.set()
             await self._stop_event.wait()
             await self._shutdown()
         finally:
             self._executor.shutdown(wait=True)
             self._executor = None
+            if self._dispatcher is not None:
+                self._dispatcher.shutdown()
+                self._dispatcher = None
+            if self._proxied:
+                uninstall_site_proxies()
+                self._proxied = False
             self._listener = None
             self._loop = None
             self._stop_event = None
@@ -331,11 +411,26 @@ class AsyncRMIServer:
             # Session state is built only for authenticated tenants, so
             # a wrong token can never reach a session or the dispatch
             # core.
-            session = (self._shared_server
-                       if self._shared_server is not None
-                       else self._session_factory())  # type: ignore[misc]
-            state = SessionState() if self.isolate_sessions else None
-            conn = _Connection(self, reader, writer, session, state)
+            session_id = next(self._session_ids)
+            session: Optional[JavaCADServer] = None
+            state: Optional[SessionState] = None
+            if self._dispatcher is None:
+                session = (self._shared_server
+                           if self._shared_server is not None
+                           else self._session_factory())  # type: ignore[misc]
+                if self.isolate_sessions:
+                    state = SessionState()
+            # Process tier: the session (and its state) lives in the
+            # sticky worker; the parent never builds one.
+            conn = _Connection(self, reader, writer, session, state,
+                               session_id)
+            if self.dispatch_tier == "affinity":
+                conn.executor = ThreadPoolExecutor(
+                    max_workers=1,
+                    thread_name_prefix=(
+                        f"{self.name}-affinity-{session_id}"))
+                if state is not None:
+                    conn.gate = SessionGate(state)
             conn.task = asyncio.current_task()
             self._connections.add(conn)
             self._bump("server.sessions", "sessions_started")
@@ -345,6 +440,10 @@ class AsyncRMIServer:
         finally:
             if conn is not None:
                 self._connections.discard(conn)
+                if conn.executor is not None:
+                    conn.executor.shutdown(wait=False)
+                if self._dispatcher is not None:
+                    self._dispatcher.forget(conn.session_id)
             if accounted:
                 self._count_open(-1)
             transport = writer.transport
@@ -451,19 +550,66 @@ class AsyncRMIServer:
             self._bump(None, "protocol_errors")
             return None
         if isinstance(request, AuthRequest):
-            # Mid-session AUTH: token already checked at handshake.
-            resolved: "asyncio.Future[bytes]" = self._loop.create_future()
-            resolved.set_result(CallReply(
-                request.call_id, ok=True, result="ok").encode())
-            return resolved
+            return self._refresh_auth(request)
+        self._account_request(request)
         self._queue_depth(+1)
+        if self._dispatcher is not None:
+            return asyncio.ensure_future(
+                self._execute_process(conn, frame))
+        executor = (conn.executor if conn.executor is not None
+                    else self._executor)
         return self._loop.run_in_executor(
-            self._executor, self._execute, conn, request)
+            executor, self._execute, conn, request)
+
+    def _refresh_auth(self, request: AuthRequest
+                      ) -> "asyncio.Future[bytes]":
+        """Mid-session AUTH: re-verify the token and count the frame.
+
+        Refreshes are *excluded* from ``calls_served``/``server.calls``
+        on purpose -- the client transport does not count its AUTH
+        frames in ``rmi.calls`` either, so both sides keep agreeing on
+        the call totals (pinned in tests/server/test_async_server.py).
+        They are counted separately as ``auth_refreshes``; a refresh
+        with a wrong token is an auth failure and an error reply, but
+        the session itself stays authenticated from its handshake.
+        """
+        assert self._loop is not None
+        resolved: "asyncio.Future[bytes]" = self._loop.create_future()
+        if self.auth_token is not None and not hmac.compare_digest(
+                request.token.encode("utf-8"),
+                self.auth_token.encode("utf-8")):
+            self._auth_failure()
+            resolved.set_result(CallReply(
+                request.call_id, ok=False,
+                error="authentication failed").encode())
+            return resolved
+        self._bump("server.auth.refreshes", "auth_refreshes")
+        resolved.set_result(CallReply(
+            request.call_id, ok=True, result="ok").encode())
+        return resolved
+
+    def _account_request(self, request: Any) -> None:
+        """Count one dispatched frame (parent-side, every tier)."""
+        if isinstance(request, BatchRequest):
+            self._bump("server.batches", "batches_served")
+            with self.stats._lock:
+                self.stats.calls_served += len(request.calls)
+            if TELEMETRY.enabled:
+                TELEMETRY.metrics.counter(
+                    "server.calls",
+                    labels={"server": self.name}).inc(len(request.calls))
+        else:
+            self._bump("server.calls", "calls_served")
 
     def _execute(self, conn: _Connection, request: Any) -> bytes:
         """Dispatch one request on an executor thread; encode there too."""
         start = time.perf_counter()
         try:
+            if conn.gate is not None:
+                # Affinity tier: per-session lock, thread-local
+                # counters -- other sessions dispatch concurrently.
+                with conn.gate.isolated():
+                    return self._dispatch(conn.session, request)
             if conn.state is not None:
                 with self._gate.isolated(conn.state):
                     return self._dispatch(conn.session, request)
@@ -476,18 +622,33 @@ class AsyncRMIServer:
                     labels={"server": self.name}).observe(
                         time.perf_counter() - start)
 
-    def _dispatch(self, session: JavaCADServer, request: Any) -> bytes:
-        if isinstance(request, BatchRequest):
-            self._bump("server.batches", "batches_served")
-            with self.stats._lock:
-                self.stats.calls_served += len(request.calls)
+    async def _execute_process(self, conn: _Connection,
+                               frame: bytes) -> bytes:
+        """Process tier: ship the frame to the session's sticky worker.
+
+        The latency histogram here spans submit-to-reply (queue wait on
+        the worker included), since the worker's own clock is out of
+        reach.
+        """
+        assert self._dispatcher is not None
+        start = time.perf_counter()
+        try:
+            return await asyncio.wrap_future(self._dispatcher.submit(
+                conn.session_id, frame, self.isolate_sessions))
+        finally:
+            self._queue_depth(-1)
             if TELEMETRY.enabled:
-                TELEMETRY.metrics.counter(
-                    "server.calls",
-                    labels={"server": self.name}).inc(len(request.calls))
+                TELEMETRY.metrics.histogram(
+                    "server.dispatch.latency",
+                    labels={"server": self.name}).observe(
+                        time.perf_counter() - start)
+
+    def _dispatch(self, session: Optional[JavaCADServer],
+                  request: Any) -> bytes:
+        assert session is not None
+        if isinstance(request, BatchRequest):
             return _encode_batch_reply(
                 request, session.dispatch_batch(request))
-        self._bump("server.calls", "calls_served")
         return _encode_reply(request, session.dispatch(request))
 
     async def _replier(self, conn: _Connection) -> None:
@@ -572,4 +733,5 @@ class AsyncRMIServer:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "running" if self._thread is not None else "stopped"
         return (f"AsyncRMIServer({self.name!r}, {state}, "
+                f"dispatch={self.dispatch_tier!r}, "
                 f"max_connections={self.max_connections})")

@@ -12,6 +12,13 @@ the factories the CLI and benchmarks use:
   in a ``shared`` base server and re-bound into every session by
   reference -- their calls are pure, so sharing them is safe and keeps
   per-connection setup at microseconds.
+
+The factories returned here are closures and deliberately so: the
+``process`` dispatch tier never pickles them.  It registers the
+factory in :mod:`repro.server.dispatch`'s module-level registry before
+forking its workers, so the closure (including a ``shared`` server)
+reaches each worker by fork inheritance -- the same trick the parallel
+scenario workers rely on.
 """
 
 from __future__ import annotations

@@ -12,6 +12,8 @@ import os
 import random
 import threading
 
+import pytest
+
 from repro.core.signal import Logic
 from repro.faults.faultlist import build_fault_list
 from repro.faults.serial import SerialFaultSimulator
@@ -163,3 +165,69 @@ class TestConcurrentSessions:
         assert server.stats.sessions_started == 2
         assert server.stats.auth_failures == 0
         assert server.stats.connections_peak == 2
+
+
+class TestDispatchTiers:
+    """Every dispatch tier is byte-identical to fresh-process serial.
+
+    The tiers change *where* a session's dispatches run (behind the
+    global gate, on a pinned per-session thread, in a sticky forked
+    worker) -- never *what* they compute.  Each tier's farmed report
+    must fingerprint identically to a serial run in a fresh process,
+    and two concurrent tenants under the concurrent tiers must each
+    match their own fresh-process baselines.
+    """
+
+    @pytest.mark.parametrize("tier", ["gate", "affinity", "process"])
+    def test_tier_matches_fresh_process_serial(self, tier):
+        bench = "figure4"
+        _netlist, pattern_set = campaign(bench)
+        baseline = serial_fingerprint(bench, pattern_set)
+        server = AsyncRMIServer(
+            session_factory=fault_farm_session_factory(),
+            dispatch=tier)
+        host, port = server.start()
+        try:
+            fingerprint = farmed_fingerprint(f"{host}:{port}", bench,
+                                             pattern_set)
+        finally:
+            server.stop()
+        assert fingerprint == baseline, (
+            f"dispatch tier {tier!r} diverged from the serial baseline")
+
+    @pytest.mark.parametrize("tier", ["affinity", "process"])
+    def test_concurrent_tenants_match_their_baselines(self, tier):
+        campaigns = {
+            "tenant-a": ("figure4", campaign("figure4", seed=3)[1]),
+            "tenant-b": ("c17", campaign("c17", seed=4)[1]),
+        }
+        baselines = {name: serial_fingerprint(bench, pattern_set)
+                     for name, (bench, pattern_set) in campaigns.items()}
+        server = AsyncRMIServer(
+            session_factory=fault_farm_session_factory(),
+            dispatch=tier)
+        host, port = server.start()
+        results = {}
+        failures = []
+        barrier = threading.Barrier(len(campaigns))
+
+        def tenant(name, bench, pattern_set):
+            try:
+                barrier.wait(timeout=5)
+                results[name] = farmed_fingerprint(
+                    f"{host}:{port}", bench, pattern_set)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                failures.append((name, exc))
+
+        threads = [threading.Thread(target=tenant,
+                                    args=(name, bench, pattern_set))
+                   for name, (bench, pattern_set) in campaigns.items()]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+        finally:
+            server.stop()
+        assert not failures
+        assert results == baselines

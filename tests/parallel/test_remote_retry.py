@@ -112,6 +112,73 @@ class TestDeadEndpoints:
         assert report.detected_count > 0
 
 
+class TestBareOSErrors:
+    """Bare OSErrors (unwrapped by RemoteError) must still retry.
+
+    The eager ``connect()`` path can surface ``ConnectionRefusedError``
+    and friends directly; the retry predicate used to require
+    ``exc.__cause__`` to be an OSError, so these escaped both the
+    bounded-retry loop and the connect_retries telemetry.
+    """
+
+    def test_bare_refusal_is_retried_to_exhaustion(self, monkeypatch):
+        from repro.rmi.transport import TcpTransport as Tcp
+
+        attempts = []
+
+        def refuse(self):
+            attempts.append(1)
+            raise ConnectionRefusedError("refused (bare)")
+
+        monkeypatch.setattr(Tcp, "connect", refuse)
+        pool = RemoteWorkerPool([f"127.0.0.1:{free_port()}"],
+                                connect_retries=2, connect_backoff=0.01)
+        with pytest.raises(ParallelExecutionError,
+                           match="no remote endpoint"):
+            pool.map([trivial_shard()])
+        assert len(attempts) == 3  # initial try + connect_retries
+
+    def test_bare_oserror_retries_reach_telemetry(self, monkeypatch):
+        from repro.rmi.transport import TcpTransport as Tcp
+
+        real_connect = Tcp.connect
+        refusals = []
+
+        def refuse_one_endpoint(self):
+            if self.port == dead_port:
+                refusals.append(1)
+                raise OSError("unroutable (bare)")
+            return real_connect(self)
+
+        dead_port = free_port()
+        monkeypatch.setattr(Tcp, "connect", refuse_one_endpoint)
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+        try:
+            server = AsyncRMIServer(
+                session_factory=fault_farm_session_factory())
+            host, port = server.start()
+            try:
+                pool = RemoteWorkerPool(
+                    [f"127.0.0.1:{dead_port}", f"{host}:{port}"],
+                    connect_retries=2, connect_backoff=0.01)
+                report = remote_fault_simulate(
+                    "c17", c17_campaign(), [], pool=pool)
+            finally:
+                server.stop()
+            retries = TELEMETRY.metrics.get(
+                "parallel.remote.connect_retries")
+            failures = TELEMETRY.metrics.get(
+                "parallel.remote.endpoint_failures")
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+        assert report.total_faults == 22
+        assert len(refusals) == 3
+        assert retries is not None and retries.value == 2
+        assert failures is not None and failures.value == 1
+
+
 class TestLateEndpoints:
     def test_backoff_reaches_an_endpoint_that_starts_late(self):
         port = free_port()

@@ -282,6 +282,81 @@ class TestAuth:
                 assert transport.invoke("echo", "ping", (5,), {}) == 10
 
 
+class TestMidSessionAuth:
+    """AUTH frames after the handshake: counted, but not as calls.
+
+    Client transports exclude AUTH frames from ``rmi.calls``; the
+    server symmetrically excludes them from ``calls_served`` and counts
+    them as ``auth_refreshes`` instead, so a stack that re-sends AUTH
+    mid-session can never make the two sides' call totals disagree.
+    """
+
+    @staticmethod
+    def _send_auth(transport, token):
+        import struct
+
+        from repro.rmi.protocol import AuthRequest, CallReply
+
+        sock = transport._ensure_socket()
+        payload = AuthRequest(token).encode()
+        sock.sendall(struct.pack(">I", len(payload)) + payload)
+        return CallReply.decode(transport._read_frame(sock))
+
+    def test_refresh_is_counted_but_not_a_call(self):
+        with running(auth_token="sekrit") as (server, host, port):
+            with connected(host, port, token="sekrit") as transport:
+                assert transport.invoke("echo", "ping", (1,), {}) == 2
+                reply = self._send_auth(transport, "sekrit")
+                assert reply.ok
+                assert transport.invoke("echo", "ping", (2,), {}) == 4
+            server.stop()
+        assert server.stats.auth_refreshes == 1
+        assert server.stats.auth_failures == 0
+        # Both sides agree: 2 calls, the AUTH frames excluded on each.
+        assert server.stats.calls_served == 2
+        assert transport.stats.calls == 2
+
+    def test_bad_refresh_token_is_an_auth_failure_not_a_call(self):
+        with running(auth_token="sekrit") as (server, host, port):
+            with connected(host, port, token="sekrit") as transport:
+                assert transport.invoke("echo", "ping", (1,), {}) == 2
+                reply = self._send_auth(transport, "wrong")
+                assert not reply.ok
+                assert "authentication" in (reply.error or "")
+                # The session keeps its handshake authentication.
+                assert transport.invoke("echo", "ping", (3,), {}) == 6
+            server.stop()
+        assert server.stats.auth_refreshes == 0
+        assert server.stats.auth_failures == 1
+        assert server.stats.calls_served == 2
+
+    def test_refresh_on_tokenless_server_is_counted_too(self):
+        with running() as (server, host, port):
+            with connected(host, port) as transport:
+                assert transport.invoke("echo", "ping", (1,), {}) == 2
+                assert self._send_auth(transport, "whatever").ok
+            server.stop()
+        assert server.stats.auth_refreshes == 1
+        assert server.stats.calls_served == 1
+
+    def test_refresh_telemetry_counter(self):
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+        try:
+            with running(auth_token="sekrit",
+                         name="auth.refresh") as (_server, host, port):
+                with connected(host, port,
+                               token="sekrit") as transport:
+                    self._send_auth(transport, "sekrit")
+            counter = TELEMETRY.metrics.get(
+                "server.auth.refreshes",
+                labels={"server": "auth.refresh"})
+            assert counter is not None and counter.value == 1
+        finally:
+            TELEMETRY.disable()
+            TELEMETRY.reset()
+
+
 class TestTls:
     def test_tls_round_trip(self):
         context = server_ssl_context(CERT, KEY)

@@ -1,0 +1,171 @@
+"""Dispatch tiers: gate/affinity/process semantics and independence.
+
+Byte-identity of per-tenant reports against fresh-process serial runs
+lives in tests/differential/test_server_differential.py; this module
+pins the *scheduling* contract -- which tiers exist, how sessions are
+routed, and that non-gate tiers never let one tenant's slow dispatch
+stall another tenant's replies.
+"""
+
+import contextlib
+import threading
+import time
+
+import pytest
+
+from repro.ip import component
+from repro.rmi import JavaCADServer, TcpTransport
+from repro.server import DISPATCH_TIERS, AsyncRMIServer
+from repro.server.dispatch import ProcessDispatcher
+
+ALL_TIERS = list(DISPATCH_TIERS)
+CONCURRENT_TIERS = ["affinity", "process"]
+
+
+class Echo:
+    def ping(self, value):
+        return value * 2
+
+    def slow(self, value, seconds=0.2):
+        time.sleep(seconds)
+        return value
+
+
+class SessionIds:
+    def next_session_id(self):
+        return next(component._session_ids)
+
+
+def tier_session():
+    server = JavaCADServer("tiers.session")
+    server.bind("echo", Echo(), ["ping", "slow"])
+    server.bind("ids", SessionIds(), ["next_session_id"])
+    return server
+
+
+@contextlib.contextmanager
+def running(tier, **options):
+    server = AsyncRMIServer(session_factory=tier_session,
+                            dispatch=tier, **options)
+    host, port = server.start()
+    try:
+        yield server, host, port
+    finally:
+        server.stop()
+
+
+class TestTierSelection:
+    def test_known_tiers(self):
+        assert DISPATCH_TIERS == ("gate", "affinity", "process")
+
+    def test_unknown_tier_is_rejected(self):
+        with pytest.raises(ValueError, match="dispatch"):
+            AsyncRMIServer(session_factory=tier_session,
+                           dispatch="osmosis")
+
+    @pytest.mark.parametrize("tier", ALL_TIERS)
+    def test_round_trip_on_every_tier(self, tier):
+        with running(tier) as (_server, host, port):
+            transport = TcpTransport(host, port)
+            try:
+                assert transport.invoke("echo", "ping", (21,), {}) == 42
+            finally:
+                transport.close()
+
+    @pytest.mark.parametrize("tier", ALL_TIERS)
+    def test_repr_names_the_tier(self, tier):
+        server = AsyncRMIServer(session_factory=tier_session,
+                                dispatch=tier)
+        assert f"dispatch={tier!r}" in repr(server)
+
+
+class TestSessionIdIsolation:
+    @pytest.mark.parametrize("tier", ALL_TIERS)
+    def test_two_tenants_each_see_fresh_process_ids(self, tier):
+        with running(tier) as (_server, host, port):
+            first = TcpTransport(host, port)
+            second = TcpTransport(host, port)
+            try:
+                a = [first.invoke("ids", "next_session_id", (), {})
+                     for _ in range(3)]
+                b = [second.invoke("ids", "next_session_id", (), {})
+                     for _ in range(3)]
+                # Sticky continuity: the same session resumes its
+                # namespace, it does not restart it.
+                a += [first.invoke("ids", "next_session_id", (), {})
+                      for _ in range(2)]
+            finally:
+                first.close()
+                second.close()
+        assert a == [1, 2, 3, 4, 5]
+        assert b == [1, 2, 3]
+
+    def test_process_tier_routes_sessions_stickily(self):
+        dispatcher = ProcessDispatcher(tier_session, workers=3)
+        try:
+            for session_id in range(1, 10):
+                pool = dispatcher.pool_for(session_id)
+                assert pool is dispatcher.pool_for(session_id)
+                expected = (session_id - 1) % 3
+                assert dispatcher._pools.index(pool) == expected
+        finally:
+            dispatcher.shutdown()
+
+    def test_process_dispatcher_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ProcessDispatcher(tier_session, workers=0)
+
+
+class TestCrossTenantIndependence:
+    """A slow tenant must not delay a fast tenant's replies.
+
+    The slow call sleeps, so this holds even on a one-core runner:
+    what is being pinned is the *scheduling* (no shared gate between
+    tenants), not CPU parallelism.  Under the gate tier the same
+    sequence serializes -- asserted as the baseline so the test would
+    catch the gate accidentally losing its (documented) serialization.
+    """
+
+    SLOW_SECONDS = 0.8
+
+    def _overlap(self, tier):
+        with running(tier) as (_server, host, port):
+            slow = TcpTransport(host, port)
+            fast = TcpTransport(host, port)
+            try:
+                fast.invoke("echo", "ping", (0,), {})  # open session
+                slow_done = threading.Event()
+
+                def slow_call():
+                    slow.invoke("echo", "slow", (1,),
+                                {"seconds": self.SLOW_SECONDS})
+                    slow_done.set()
+
+                worker = threading.Thread(target=slow_call)
+                worker.start()
+                time.sleep(0.15)  # the slow dispatch is now in flight
+                begin = time.monotonic()
+                replies = [fast.invoke("echo", "ping", (i,), {})
+                           for i in range(5)]
+                fast_wall = time.monotonic() - begin
+                finished_during = slow_done.is_set()
+                worker.join()
+            finally:
+                slow.close()
+                fast.close()
+        assert replies == [0, 2, 4, 6, 8]
+        return fast_wall, finished_during
+
+    @pytest.mark.parametrize("tier", CONCURRENT_TIERS)
+    def test_fast_tenant_overlaps_a_slow_tenants_dispatch(self, tier):
+        fast_wall, finished_during = self._overlap(tier)
+        # All five replies must land while the slow call still holds
+        # its executor -- they never queue behind it.
+        assert not finished_during
+        assert fast_wall < self.SLOW_SECONDS / 2, fast_wall
+
+    def test_gate_tier_still_serializes(self):
+        fast_wall, _ = self._overlap("gate")
+        # Baseline: behind the global gate the fast tenant waits out
+        # the slow dispatch (minus the head start before it queued).
+        assert fast_wall > self.SLOW_SECONDS / 2, fast_wall

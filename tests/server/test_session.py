@@ -1,12 +1,15 @@
-"""Session isolation: COUNTER_SITES, SessionState, IsolationGate."""
+"""Session isolation: COUNTER_SITES, SessionState, the gates."""
 
 import importlib
 import itertools
+import threading
 
 import pytest
 
 from repro.parallel.scenarios import reset_session_state
-from repro.server import COUNTER_SITES, IsolationGate, SessionState
+from repro.server import (COUNTER_SITES, IsolationGate, SessionGate,
+                          SessionState, install_site_proxies,
+                          uninstall_site_proxies)
 
 
 @pytest.fixture
@@ -110,3 +113,113 @@ class TestIsolationGate:
             with gate.isolated(state):
                 raise RuntimeError("servant fault")
         assert _site_value(site) is outside_before
+
+    def test_failed_swap_restores_already_swapped_counters(
+            self, preserved_counters, monkeypatch):
+        # Regression: the swap loop used to run before the try, so a
+        # site that fails to resolve mid-loop leaked every counter
+        # already swapped in.  Poison the LAST entry so all real sites
+        # are swapped before the failure.
+        import repro.server.session as session_module
+
+        poisoned = COUNTER_SITES + (("repro.no_such_module", "_x"),)
+        monkeypatch.setattr(session_module, "COUNTER_SITES", poisoned)
+        gate = IsolationGate()
+        state = SessionState()
+        # SessionState() above used the real sites; give the state the
+        # poisoned site too so the failure is the import, not the dict.
+        state.counters[poisoned[-1]] = itertools.count(1)
+        before = {site: _site_value(site) for site in COUNTER_SITES}
+        with pytest.raises(ModuleNotFoundError):
+            with gate.isolated(state):
+                pass  # pragma: no cover - swap fails before the body
+        for site in COUNTER_SITES:
+            assert _site_value(site) is before[site], site
+
+
+class TestSiteProxies:
+    def test_install_is_refcounted(self, preserved_counters):
+        site = COUNTER_SITES[0]
+        plain = _site_value(site)
+        install_site_proxies()
+        install_site_proxies()
+        proxy = _site_value(site)
+        assert proxy is not plain
+        uninstall_site_proxies()
+        assert _site_value(site) is proxy  # one ref still held
+        uninstall_site_proxies()
+        assert _site_value(site) is plain
+
+    def test_unbound_threads_fall_through_to_the_global_counter(
+            self, preserved_counters):
+        site = COUNTER_SITES[0]
+        before = next(_site_value(site))
+        install_site_proxies()
+        try:
+            assert next(_site_value(site)) == before + 1
+        finally:
+            uninstall_site_proxies()
+        assert next(_site_value(site)) == before + 2
+
+    def test_extra_uninstall_is_harmless(self, preserved_counters):
+        uninstall_site_proxies()  # no install outstanding
+        for site in COUNTER_SITES:
+            assert isinstance(_site_value(site),
+                              type(itertools.count())), site
+
+
+class TestSessionGate:
+    @pytest.fixture
+    def proxied(self, preserved_counters):
+        install_site_proxies()
+        yield
+        uninstall_site_proxies()
+
+    def test_requires_installed_proxies(self, preserved_counters):
+        gate = SessionGate(SessionState())
+        with pytest.raises(RuntimeError, match="install_site_proxies"):
+            with gate.isolated():
+                pass  # pragma: no cover - gate refuses entry
+
+    def test_binds_session_counters_to_this_thread(self, proxied):
+        gate = SessionGate(SessionState())
+        site = COUNTER_SITES[0]
+        with gate.isolated():
+            assert [next(_site_value(site)) for _ in range(3)] \
+                == [1, 2, 3]
+        with gate.isolated():
+            assert next(_site_value(site)) == 4
+
+    def test_concurrent_sessions_draw_independent_ids(self, proxied):
+        site = COUNTER_SITES[0]
+        barrier = threading.Barrier(2)
+        seen = {}
+
+        def tenant(name):
+            gate = SessionGate(SessionState())
+            with gate.isolated():
+                barrier.wait(timeout=5)  # both inside their gates
+                seen[name] = [next(_site_value(site))
+                              for _ in range(3)]
+
+        threads = [threading.Thread(target=tenant, args=(n,))
+                   for n in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert seen == {"a": [1, 2, 3], "b": [1, 2, 3]}
+
+    def test_isolation_gate_respects_live_proxies(self, proxied):
+        # A gate-tier server sharing the process with an affinity
+        # server must swap the proxy's fallback, not evict the proxy.
+        site = COUNTER_SITES[0]
+        proxy = _site_value(site)
+        gate = IsolationGate()
+        state = SessionState()
+        with gate.isolated(state):
+            assert _site_value(site) is proxy
+            assert next(_site_value(site)) == 1
+        assert _site_value(site) is proxy
+        with gate.isolated(state):
+            assert next(_site_value(site)) == 2
