@@ -599,8 +599,8 @@ def _resolve_servant_spec(spec: str) -> Optional[str]:
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Static design lint + servant code analysis (no execution)."""
     from .core.errors import DesignError
-    from .lint import (Severity, format_findings, lint_netlist,
-                       lint_sources)
+    from .lint import (Severity, format_findings, lint_concurrency,
+                       lint_netlist, lint_sources)
     from .lint.registry import check_codes, filter_suppressed
     from .lint.runner import record_lint_run
 
@@ -611,12 +611,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    design_specs = args.design or []
+    concurrency_only = args.concurrency
+    design_specs = [] if concurrency_only else (args.design or [])
     servant_specs = args.servants or []
-    if not design_specs and not servant_specs:
+    default_sweep = not design_specs and not servant_specs
+    if default_sweep:
         # Default sweep: every builtin bench plus the installed
-        # package's own servant sources.
-        design_specs = list(BUILTIN_BENCHES)
+        # package's own sources (servant + concurrency rules).
+        if not concurrency_only:
+            design_specs = list(BUILTIN_BENCHES)
         servant_specs = [os.path.dirname(os.path.abspath(__file__))]
 
     findings = []
@@ -643,7 +646,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         sources.append(resolved)
     if sources:
         try:
-            findings.extend(lint_sources(sources))
+            if not concurrency_only:
+                findings.extend(lint_sources(sources))
+            if concurrency_only or default_sweep:
+                # The concurrency rules see all sources as one unit --
+                # reachability and COUNTER_SITES only make sense
+                # across module boundaries.
+                findings.extend(lint_concurrency(sources))
         except FileNotFoundError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -938,6 +947,11 @@ def build_parser() -> argparse.ArgumentParser:
                       default=None,
                       help="source file, directory or importable module "
                            "of servant classes to analyze (repeatable)")
+    lint.add_argument("--concurrency", action="store_true",
+                      help="run only the concurrency rules "
+                           "(JCD014-JCD019: races, fork hazards, "
+                           "nondeterminism) over the --servants paths, "
+                           "or over the installed package by default")
     lint.add_argument("--format", choices=["text", "json"],
                       default="text", help="output format")
     lint.add_argument("--fail-on", choices=["warning", "error"],

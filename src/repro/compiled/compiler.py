@@ -46,6 +46,7 @@ cache hits/misses).
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from typing import Any, Callable, Dict, List, Sequence, Tuple
 
@@ -244,12 +245,21 @@ class CompiledKernel:
 
 
 _KERNEL_CACHE: Dict[str, CompiledKernel] = {}
+_KERNEL_LOCK = threading.Lock()
 
 
 def compile_netlist(netlist: Netlist) -> CompiledKernel:
-    """Compile a netlist, reusing the process-wide kernel cache."""
+    """Compile a netlist, reusing the process-wide kernel cache.
+
+    Concurrent server sessions compile against the same cache, so the
+    lookup and the insert are serialized; compilation itself runs
+    outside the lock, and on a losing race the first kernel in wins
+    (identical fingerprints compile to identical kernels, so either
+    copy serves both callers).
+    """
     key = netlist_fingerprint(netlist)
-    kernel = _KERNEL_CACHE.get(key)
+    with _KERNEL_LOCK:
+        kernel = _KERNEL_CACHE.get(key)
     if kernel is not None:
         if TELEMETRY.enabled:
             TELEMETRY.metrics.counter("compiled.cache.hits").inc()
@@ -257,7 +267,8 @@ def compile_netlist(netlist: Netlist) -> CompiledKernel:
     begin = time.perf_counter()
     kernel = CompiledKernel(netlist)
     elapsed = time.perf_counter() - begin
-    _KERNEL_CACHE[key] = kernel
+    with _KERNEL_LOCK:
+        kernel = _KERNEL_CACHE.setdefault(key, kernel)
     if TELEMETRY.enabled:
         metrics = TELEMETRY.metrics
         metrics.counter("compiled.cache.misses").inc()
@@ -268,4 +279,5 @@ def compile_netlist(netlist: Netlist) -> CompiledKernel:
 
 def clear_kernel_cache() -> None:
     """Drop every cached kernel (tests and memory-sensitive callers)."""
-    _KERNEL_CACHE.clear()
+    with _KERNEL_LOCK:
+        _KERNEL_CACHE.clear()

@@ -13,6 +13,7 @@ video streams).
 
 from __future__ import annotations
 
+import itertools
 from typing import TYPE_CHECKING, Dict, Optional
 
 from .errors import ConnectionError_, WidthMismatchError
@@ -21,13 +22,15 @@ from .signal import Logic, SignalValue, Word
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .port import Port
 
-_connector_counter = 0
+# Auto-generated connector names reach marshalled bytes through wiring
+# error messages (error replies carry str(exc)), so this counter is a
+# declared COUNTER_SITES entry: an itertools.count the session gates
+# can swap per tenant, not a bare incremented int.
+_connector_ids = itertools.count(1)
 
 
 def _next_connector_name(prefix: str) -> str:
-    global _connector_counter
-    _connector_counter += 1
-    return f"{prefix}{_connector_counter}"
+    return f"{prefix}{next(_connector_ids)}"
 
 
 class Connector:

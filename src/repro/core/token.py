@@ -18,7 +18,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .port import Port
     from .signal import SignalValue
 
-_token_ids = itertools.count(1)
+# Token ids appear only in __repr__ output, never in marshalled bytes
+# (the scheduler heap-orders events with its own per-instance _seq
+# counter), so concurrent tenants sharing this sequence is harmless.
+_token_ids = itertools.count(1)  # lint: allow(JCD014)
 
 
 class Token:

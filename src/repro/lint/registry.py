@@ -168,3 +168,35 @@ register_rule(
     "JCD013", "undeclared-pure-method", Severity.WARNING,
     "A PURE_METHODS entry names a method the servant does not define, "
     "or one missing from REMOTE_METHODS; the whitelist is stale.")
+
+# -- concurrency analysis (call graph over the full source sweep) ----------
+register_rule(
+    "JCD014", "undeclared-global-counter", Severity.ERROR,
+    "A module-level id counter is consumed on server dispatch paths "
+    "but is missing from COUNTER_SITES; concurrent tenants would "
+    "share its sequence.")
+register_rule(
+    "JCD015", "blocking-call-in-async", Severity.ERROR,
+    "An async def in repro.server makes a blocking call (time.sleep, "
+    "file/socket I/O, Future.result, lock .acquire); every tenant on "
+    "the event loop stalls behind it.")
+register_rule(
+    "JCD016", "fork-unsafe-state", Severity.WARNING,
+    "Threads, executors or locks are created before ProcessDispatcher "
+    "forks its workers (or started in a worker initializer); forked "
+    "children inherit them in undefined states.")
+register_rule(
+    "JCD017", "unguarded-shared-mutation", Severity.WARNING,
+    "Dispatch-reachable code mutates module- or class-level mutable "
+    "state outside any owning lock or gate; concurrent tenants race "
+    "on it.")
+register_rule(
+    "JCD018", "nondeterministic-marshal", Severity.ERROR,
+    "A servant method feeds nondeterminism (set iteration, id(), "
+    "wall clocks, unseeded random, os.urandom) toward marshalled "
+    "bytes, breaking byte-identity across runs.")
+register_rule(
+    "JCD019", "stale-counter-site", Severity.ERROR,
+    "A COUNTER_SITES entry names a module attribute that no longer "
+    "exists or is no longer a counter; the reset/isolation inventory "
+    "is stale.")

@@ -6,8 +6,8 @@ from .async_server import (DEFAULT_DISPATCH_WORKERS, DEFAULT_DRAIN_TIMEOUT,
                            AsyncRMIServer, ServerStats)
 from .dispatch import ProcessDispatcher
 from .session import (COUNTER_SITES, CounterSite, IsolationGate,
-                      SessionGate, SessionState, install_site_proxies,
-                      uninstall_site_proxies)
+                      SessionGate, SessionState, call_session_factory,
+                      install_site_proxies, uninstall_site_proxies)
 
 __all__ = [
     "AsyncRMIServer", "ServerStats", "ProcessDispatcher",
@@ -15,5 +15,6 @@ __all__ = [
     "DEFAULT_HANDSHAKE_TIMEOUT", "DEFAULT_DRAIN_TIMEOUT",
     "DISPATCH_TIERS",
     "COUNTER_SITES", "CounterSite", "IsolationGate", "SessionGate",
-    "SessionState", "install_site_proxies", "uninstall_site_proxies",
+    "SessionState", "call_session_factory", "install_site_proxies",
+    "uninstall_site_proxies",
 ]

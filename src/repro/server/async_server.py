@@ -54,6 +54,7 @@ from ..rmi.server import (JavaCADServer, _encode_batch_reply,
 from ..telemetry.runtime import TELEMETRY
 from .dispatch import ProcessDispatcher
 from .session import (IsolationGate, SessionGate, SessionState,
+                      call_session_factory,
                       install_site_proxies, uninstall_site_proxies)
 
 DEFAULT_MAX_CONNECTIONS = 64
@@ -189,7 +190,7 @@ class AsyncRMIServer:
 
     def __init__(self, server: Optional[JavaCADServer] = None, *,
                  session_factory: Optional[
-                     Callable[[], JavaCADServer]] = None,
+                     Callable[..., JavaCADServer]] = None,
                  host: str = "127.0.0.1", port: int = 0,
                  max_connections: int = DEFAULT_MAX_CONNECTIONS,
                  auth_token: Optional[str] = None,
@@ -311,9 +312,6 @@ class AsyncRMIServer:
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
         self._draining = False
-        self._executor = ThreadPoolExecutor(
-            max_workers=self.dispatch_workers,
-            thread_name_prefix=f"{self.name}-dispatch")
         try:
             if self.dispatch_tier == "affinity" and self.isolate_sessions:
                 install_site_proxies()
@@ -333,6 +331,12 @@ class AsyncRMIServer:
                 await asyncio.gather(*[
                     asyncio.wrap_future(future)
                     for future in self._dispatcher.warm_futures()])
+            # The dispatch thread pool comes up only after the process
+            # tier has forked its workers: a forked child must never
+            # inherit live dispatch threads (JCD016).
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.dispatch_workers,
+                thread_name_prefix=f"{self.name}-dispatch")
             self._listener = await asyncio.start_server(
                 self._handle_connection, self.host, self.port,
                 ssl=self.ssl_context)
@@ -350,8 +354,9 @@ class AsyncRMIServer:
             await self._stop_event.wait()
             await self._shutdown()
         finally:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
             if self._dispatcher is not None:
                 self._dispatcher.shutdown()
                 self._dispatcher = None
@@ -417,7 +422,9 @@ class AsyncRMIServer:
             if self._dispatcher is None:
                 session = (self._shared_server
                            if self._shared_server is not None
-                           else self._session_factory())  # type: ignore[misc]
+                           else call_session_factory(
+                               self._session_factory,  # type: ignore[arg-type]
+                               session_id))
                 if self.isolate_sessions:
                     state = SessionState()
             # Process tier: the session (and its state) lives in the

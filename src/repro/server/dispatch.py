@@ -38,11 +38,16 @@ from typing import Callable, Dict, List, Tuple
 from ..rmi.protocol import BatchRequest, decode_request
 from ..rmi.server import (JavaCADServer, _encode_batch_reply,
                           _encode_reply)
-from .session import IsolationGate, SessionState
+from .session import (IsolationGate, SessionState,
+                      call_session_factory)
 
-SessionFactory = Callable[[], JavaCADServer]
+# Factories may optionally accept a session_id keyword (see
+# call_session_factory), so the signature is deliberately loose.
+SessionFactory = Callable[..., JavaCADServer]
 
-_dispatcher_ids = itertools.count(1)
+# Dispatcher ids key the parent-side factory registry; they never
+# leave the parent process or reach marshalled bytes.
+_dispatcher_ids = itertools.count(1)  # lint: allow(JCD014)
 
 # Parent-side registry, inherited by forked workers.  Keyed by
 # dispatcher id so several process-tier servers can coexist in one
@@ -62,7 +67,9 @@ def _worker_init() -> None:
     from ..parallel.scenarios import reset_session_state
 
     reset_session_state()
-    _worker_sessions.clear()
+    # Runs once per fork, before the worker serves anything; no other
+    # thread exists in the child yet.
+    _worker_sessions.clear()  # lint: allow(JCD017)
 
 
 def _worker_ready() -> bool:
@@ -80,8 +87,14 @@ def _worker_session(dispatcher_id: int, session_id: int
             raise RuntimeError(
                 f"worker has no session factory for dispatcher "
                 f"{dispatcher_id} (forked before registration?)")
-        entry = (factory(), SessionState())
-        _worker_sessions[key] = entry
+        # The tenant's own session id names the session, so a worker
+        # hosting several tenants (or a restarted worker) reproduces
+        # the names a dedicated fresh process would choose.
+        entry = (call_session_factory(factory, session_id),
+                 SessionState())
+        # Worker-local copy of the dict: a single-process pool runs
+        # one dispatch at a time, so no second thread can be here.
+        _worker_sessions[key] = entry  # lint: allow(JCD017)
     return entry
 
 
@@ -111,7 +124,9 @@ def _dispatch_encoded(session: JavaCADServer, request: object) -> bytes:
 
 def _worker_forget(dispatcher_id: int, session_id: int) -> None:
     """Release a closed connection's worker-resident session."""
-    _worker_sessions.pop((dispatcher_id, session_id), None)
+    # Same single-dispatch-at-a-time story as _worker_session.
+    _worker_sessions.pop((dispatcher_id, session_id),  # lint: allow(JCD017)
+                         None)
 
 
 class ProcessDispatcher:
@@ -135,8 +150,10 @@ class ProcessDispatcher:
         self.id = next(_dispatcher_ids)
         self.workers = workers
         # Registered before any executor forks, so every worker
-        # inherits the factory through fork memory.
-        _FACTORIES[self.id] = session_factory
+        # inherits the factory through fork memory.  Parent-side only,
+        # written before this dispatcher's first fork and read by
+        # workers after it; the asyncio loop thread is the sole writer.
+        _FACTORIES[self.id] = session_factory  # lint: allow(JCD017)
         context = multiprocessing.get_context("fork")
         self._pools: List[ProcessPoolExecutor] = [
             ProcessPoolExecutor(max_workers=1, mp_context=context,
@@ -172,7 +189,9 @@ class ProcessDispatcher:
     def shutdown(self) -> None:
         for pool in self._pools:
             pool.shutdown(wait=True)
-        _FACTORIES.pop(self.id, None)
+        # Single writer (the owning server's loop thread), and every
+        # worker that could read the entry has already exited.
+        _FACTORIES.pop(self.id, None)  # lint: allow(JCD017)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"ProcessDispatcher(id={self.id}, "

@@ -31,19 +31,30 @@ from ..rmi.server import JavaCADServer
 
 def fault_farm_session_factory(shared: Optional[JavaCADServer] = None,
                                host_name: str = "faultfarm.session"
-                               ) -> Callable[[], JavaCADServer]:
+                               ) -> Callable[..., JavaCADServer]:
     """A factory producing one fault-farm session server per tenant.
 
     ``shared`` (optional) names a base server whose bindings -- assumed
     read-only -- are re-bound into every session alongside the fresh
     farm servant.
+
+    Session names carry the *tenant's* session id when the server
+    provides one (via
+    :func:`~repro.server.session.call_session_factory`), so a tenant's
+    name -- which is marshalled into farm error strings -- depends only
+    on its own connection order, never on how many neighbors the
+    server or a forked worker has already seen.  The factory-local
+    counter is only a fallback for direct zero-argument callers
+    (tests, ad-hoc tooling).
     """
     from ..parallel.remote import register_fault_farm
 
-    sessions = itertools.count(1)
+    fallback_ids = itertools.count(1)
 
-    def factory() -> JavaCADServer:
-        session = JavaCADServer(f"{host_name}.{next(sessions)}")
+    def factory(session_id: Optional[int] = None) -> JavaCADServer:
+        if session_id is None:
+            session_id = next(fallback_ids)
+        session = JavaCADServer(f"{host_name}.{session_id}")
         if shared is not None:
             for name in shared.registry.names():
                 binding = shared.registry.lookup(name)

@@ -40,9 +40,11 @@ from __future__ import annotations
 
 import contextlib
 import importlib
+import inspect
 import itertools
 import threading
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import (Callable, Dict, Iterator, List, Optional, Tuple,
+                    TypeVar)
 
 CounterSite = Tuple[str, str]
 
@@ -54,12 +56,40 @@ COUNTER_SITES: Tuple[CounterSite, ...] = (
     # names ("session1.s9"), so a stale counter changes frame sizes.
     ("repro.core.scheduler", "_scheduler_ids"),
     ("repro.core.module", "_module_ids"),
+    # Connector auto-names ("n7") reach the wire through wiring error
+    # messages; error replies marshal str(exc), so frame sizes shift.
+    ("repro.core.connector", "_connector_ids"),
 )
 """Every process-wide id counter whose value leaks into frame sizes.
 
 Shared by :func:`repro.parallel.scenarios.reset_session_state` (which
 rewinds them in a forked worker) and :class:`SessionState` (which
 gives each server connection a private set)."""
+
+
+_T = TypeVar("_T")
+
+
+def call_session_factory(factory: Callable[..., _T],
+                         session_id: int) -> _T:
+    """Invoke a session factory, passing ``session_id`` if it takes one.
+
+    Session-scoped resources -- above all the session's *name*, which
+    is marshalled into farm task ids and error strings -- must derive
+    from the tenant's own session id, not from factory-level counters
+    shared across tenants (and duplicated across forked workers).
+    Factories opt in by accepting a ``session_id`` parameter; plain
+    zero-argument factories keep working unchanged.
+    """
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # builtins, odd callables
+        return factory()
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD \
+                or parameter.name == "session_id":
+            return factory(session_id=session_id)
+    return factory()
 
 
 class SessionState:
@@ -116,7 +146,9 @@ class _SiteProxy:
 
 _proxies: Dict[CounterSite, _SiteProxy] = {}
 _proxy_lock = threading.Lock()
-_proxy_refs = 0
+# Install refcount, only ever touched under _proxy_lock; its value is
+# process bookkeeping and never reaches marshalled bytes.
+_proxy_refs = 0  # lint: allow(JCD014)
 
 
 def install_site_proxies() -> None:

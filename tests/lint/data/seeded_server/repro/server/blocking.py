@@ -1,0 +1,26 @@
+"""Seeded JCD015 defects: blocking calls inside ``async def``.
+
+This file lives under a miniature ``repro/server`` package tree so the
+dotted module name the analyzers derive (``repro.server.blocking``)
+falls inside the rule's scope.  It is never imported or executed.
+"""
+
+import socket
+import time
+
+
+class SeededAsyncHandler:
+    async def serve_frame(self, frame, future, lock):
+        lock.acquire()
+        time.sleep(0.05)
+        raw = socket.socket()
+        raw.connect(("localhost", 9))
+        payload = raw.recv(4096)
+        reply = future.result()
+        with open("/tmp/seeded.log") as handle:
+            handle.read()
+        return frame, payload, reply
+
+    async def well_behaved(self, loop, executor, frame):
+        # Awaited executor hops must NOT be reported.
+        return await loop.run_in_executor(executor, len, frame)

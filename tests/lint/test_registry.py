@@ -6,7 +6,7 @@ from repro.lint import Finding, Severity, all_rules, finding, rule
 from repro.lint.registry import (check_codes, filter_suppressed,
                                  register_rule)
 
-EXPECTED_CODES = [f"JCD{i:03d}" for i in range(1, 14)]
+EXPECTED_CODES = [f"JCD{i:03d}" for i in range(1, 20)]
 
 
 class TestCatalog:

@@ -35,7 +35,7 @@ class TestCounterSites:
             counter = _site_value(site)
             assert isinstance(counter, type(itertools.count())), site
 
-    def test_the_five_known_leak_sites_are_covered(self):
+    def test_the_known_leak_sites_are_covered(self):
         # The exhaustive list the parallel layer has always reset; a
         # new id counter that leaks into frame sizes must be added
         # HERE, not just in reset_session_state.
@@ -45,6 +45,7 @@ class TestCounterSites:
             ("repro.ip.negotiation", "_session_counter"),
             ("repro.core.scheduler", "_scheduler_ids"),
             ("repro.core.module", "_module_ids"),
+            ("repro.core.connector", "_connector_ids"),
         }
 
     def test_reset_session_state_rewinds_every_site(
